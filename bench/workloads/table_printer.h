@@ -1,0 +1,51 @@
+#ifndef MAGICDB_BENCH_WORKLOADS_TABLE_PRINTER_H_
+#define MAGICDB_BENCH_WORKLOADS_TABLE_PRINTER_H_
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace magicdb::bench {
+
+/// Aligned text tables for the paper-style outputs the benches print.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : "";
+        os << (c > 0 ? " | " : "") << cell
+           << std::string(widths[c] - cell.size(), ' ');
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 3;
+    os << std::string(total > 3 ? total - 3 : 0, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace magicdb::bench
+
+#endif  // MAGICDB_BENCH_WORKLOADS_TABLE_PRINTER_H_

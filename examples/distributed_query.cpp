@@ -1,0 +1,97 @@
+// Distributed scenario (§5.1): joining a local table with a *remote view*.
+//
+// Orders lives at site 1; the analyst's query joins local Customers with a
+// per-customer revenue view over the remote table. The optimizer weighs
+// fetch-inner (ship everything), fetch-matches (probe across the network),
+// and the distributed Filter Join (semi-join: ship the filter set, compute
+// the view restricted, ship only the needed rows back).
+
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/db/database.h"
+
+using magicdb::Database;
+using magicdb::DataType;
+using magicdb::OptimizerOptions;
+using magicdb::Random;
+using magicdb::Schema;
+using magicdb::Tuple;
+using magicdb::Value;
+
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT C.cid, C.region, V.revenue "
+    "FROM Customers C, CustRevenue V "
+    "WHERE C.cid = V.cid AND C.region = 7";
+
+void Check(const magicdb::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+double RunAndReport(Database* db, const char* label) {
+  auto result = db->Query(kQuery);
+  Check(result.status());
+  std::cout << "--- " << label << " ---\n"
+            << result->explain
+            << "measured: cost=" << result->counters.TotalCost()
+            << ", messages=" << result->counters.messages_sent
+            << ", bytes shipped=" << result->counters.bytes_shipped << "\n\n";
+  return result->counters.TotalCost();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+
+  // Customers is local; Orders is homed at remote site 1.
+  Check(db.Execute("CREATE TABLE Customers (cid INT, region INT)"));
+  Schema orders({{"", "cid", DataType::kInt64},
+                 {"", "amount", DataType::kDouble},
+                 {"", "item", DataType::kInt64}});
+  Check(db.catalog()->CreateRemoteTable("Orders", orders, /*site=*/1)
+            .status());
+
+  Random rng(7);
+  std::vector<Tuple> customers, order_rows;
+  for (int c = 0; c < 2000; ++c) {
+    customers.push_back(
+        {Value::Int64(c), Value::Int64(static_cast<int64_t>(rng.Uniform(50)))});
+    const int norders = 1 + static_cast<int>(rng.Uniform(5));
+    for (int o = 0; o < norders; ++o) {
+      order_rows.push_back({Value::Int64(c),
+                            Value::Double(rng.NextDouble() * 500.0),
+                            Value::Int64(static_cast<int64_t>(rng.Uniform(100)))});
+    }
+  }
+  Check(db.LoadRows("Customers", std::move(customers)));
+  Check(db.LoadRows("Orders", std::move(order_rows)));
+  (*db.catalog()->Lookup("Orders"))->table->CreateHashIndex({0});
+  Check(db.catalog()->AnalyzeAll());
+
+  // A view over the REMOTE table — the heterogeneous-query case the paper
+  // calls out as especially important.
+  Check(db.Execute(
+      "CREATE VIEW CustRevenue AS "
+      "SELECT cid, SUM(amount) AS revenue FROM Orders GROUP BY cid"));
+
+  // Baseline: classic optimizer (no Filter Join) must fetch the whole
+  // remote relation to compute the view.
+  db.mutable_optimizer_options()->magic_mode =
+      OptimizerOptions::MagicMode::kNever;
+  const double classic = RunAndReport(&db, "classic (fetch inner)");
+
+  // Cost-based Filter Join: ship the ~40 qualifying customer ids to site 1,
+  // aggregate only their orders, ship the small result back.
+  db.mutable_optimizer_options()->magic_mode =
+      OptimizerOptions::MagicMode::kCostBased;
+  const double magic = RunAndReport(&db, "cost-based (semi-join filter)");
+
+  std::cout << "communication-aware speedup: " << classic / magic << "x\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Quickstart: the paper's motivating example (Figure 1) end to end.
+//
+// Builds the Emp/Dept schema, defines the DepAvgSal view, and runs the
+// query "every young employee in a big department whose salary exceeds the
+// department average" — first with the classic System R optimizer, then
+// with the Filter Join (magic sets) integrated cost-based, comparing plans
+// and measured execution costs.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/db/database.h"
+
+using magicdb::Database;
+using magicdb::OptimizerOptions;
+using magicdb::Random;
+using magicdb::Tuple;
+using magicdb::Value;
+
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT E.did, E.sal, V.avgsal "
+    "FROM Emp E, Dept D, DepAvgSal V "
+    "WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgsal "
+    "AND E.age < 30 AND D.budget > 100000";
+
+void Check(const magicdb::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+
+  // --- Schema (Figure 1) ---
+  Check(db.Execute("CREATE TABLE Emp (did INT, sal DOUBLE, age INT)"));
+  Check(db.Execute("CREATE TABLE Dept (did INT, budget DOUBLE)"));
+
+  // 1500 departments, 5 employees each; 2% of departments are big, 2% of
+  // employees are young — the selective regime where magic sets pay off.
+  Random rng(2026);
+  std::vector<Tuple> emps, depts;
+  for (int d = 0; d < 1500; ++d) {
+    depts.push_back({Value::Int64(d),
+                     Value::Double(rng.Bernoulli(0.02) ? 250000.0 : 80000.0)});
+    for (int e = 0; e < 5; ++e) {
+      emps.push_back({Value::Int64(d),
+                      Value::Double(40000.0 + rng.NextDouble() * 80000.0),
+                      Value::Int64(rng.Bernoulli(0.02) ? 26 : 41)});
+    }
+  }
+  Check(db.LoadRows("Dept", std::move(depts)));
+  Check(db.LoadRows("Emp", std::move(emps)));
+
+  // An index on Emp.did lets the magic filter set drive the view through
+  // index lookups instead of full scans.
+  (*db.catalog()->Lookup("Emp"))->table->CreateHashIndex({0});
+  (*db.catalog()->Lookup("Dept"))->table->CreateHashIndex({0});
+  Check(db.catalog()->AnalyzeAll());
+
+  // --- The view (a "virtual relation") ---
+  Check(db.Execute(
+      "CREATE VIEW DepAvgSal AS "
+      "SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did"));
+
+  // --- Classic System R: no Filter Join ---
+  db.mutable_optimizer_options()->magic_mode =
+      OptimizerOptions::MagicMode::kNever;
+  auto classic = db.Query(kQuery);
+  Check(classic.status());
+  std::cout << "=== classic plan (magic sets disabled) ===\n"
+            << classic->explain << "measured cost: "
+            << classic->counters.TotalCost() << " page-I/O units\n\n";
+
+  // --- The paper's contribution: Filter Join costed inside the DP ---
+  db.mutable_optimizer_options()->magic_mode =
+      OptimizerOptions::MagicMode::kCostBased;
+  auto magic = db.Query(kQuery);
+  Check(magic.status());
+  std::cout << "=== cost-based plan (Filter Join considered) ===\n"
+            << magic->explain << "measured cost: "
+            << magic->counters.TotalCost() << " page-I/O units\n\n";
+
+  if (!magic->filter_joins.empty()) {
+    std::cout << "Filter Join cost breakdown (Table 1 of the paper):\n  "
+              << magic->filter_joins[0].ToString() << "\n\n";
+  }
+
+  std::cout << "results (" << magic->rows.size() << " qualifying employees, "
+            << "identical under both plans):\n"
+            << magic->ToString(10) << "\n";
+  std::cout << "speedup from cost-based magic: "
+            << classic->counters.TotalCost() / magic->counters.TotalCost()
+            << "x\n\n"
+            << "(this view costs one scan to compute in full, so the win is "
+               "modest; run\n bench_fig12_magic_crossover for the "
+               "expensive-view regime where the same\n mechanism wins ~5x, "
+               "and bench_sec51_distributed for remote views)\n";
+  return 0;
+}

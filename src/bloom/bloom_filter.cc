@@ -1,0 +1,57 @@
+#include "src/bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magicdb {
+
+BloomFilter::BloomFilter(int64_t num_bits, int num_hashes)
+    : num_hashes_(std::clamp(num_hashes, 1, 16)) {
+  const int64_t words = std::max<int64_t>(1, (num_bits + 63) / 64);
+  words_.assign(static_cast<size_t>(words), 0);
+}
+
+BloomFilter BloomFilter::ForExpectedKeys(int64_t expected_keys, double fpr) {
+  expected_keys = std::max<int64_t>(1, expected_keys);
+  fpr = std::clamp(fpr, 1e-6, 0.5);
+  // Optimal m = -n ln(p) / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_keys) * std::log(fpr) /
+                   (ln2 * ln2);
+  const int k = std::max(1, static_cast<int>(std::round(m / expected_keys * ln2)));
+  return BloomFilter(static_cast<int64_t>(std::ceil(m)), k);
+}
+
+uint64_t BloomFilter::ProbePosition(uint64_t hash, int i) const {
+  // Kirsch-Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x).
+  const uint64_t h1 = hash;
+  const uint64_t h2 = (hash >> 32) | (hash << 32) | 1;  // odd => full period
+  return (h1 + static_cast<uint64_t>(i) * h2) %
+         static_cast<uint64_t>(num_bits());
+}
+
+void BloomFilter::Add(uint64_t hash) {
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = ProbePosition(hash, i);
+    words_[pos / 64] |= (1ULL << (pos % 64));
+  }
+  ++keys_added_;
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = ProbePosition(hash, i);
+    if ((words_[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double m = static_cast<double>(num_bits());
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(keys_added_);
+  const double fill = 1.0 - std::exp(-k * n / m);
+  return std::pow(fill, k);
+}
+
+}  // namespace magicdb

@@ -1,0 +1,46 @@
+#ifndef MAGICDB_BLOOM_BLOOM_FILTER_H_
+#define MAGICDB_BLOOM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace magicdb {
+
+/// Fixed-size Bloom filter over 64-bit hashes. The lossy filter-set
+/// implementation of §3.3/§5.1: a compact superset of the exact filter set.
+/// No false negatives; false-positive rate depends on bits-per-key.
+class BloomFilter {
+ public:
+  /// `num_bits` is rounded up to a multiple of 64; at least 64.
+  /// `num_hashes` in [1, 16].
+  BloomFilter(int64_t num_bits, int num_hashes);
+
+  /// Filter sized for ~`fpr` false positives over `expected_keys` keys.
+  static BloomFilter ForExpectedKeys(int64_t expected_keys, double fpr);
+
+  void Add(uint64_t hash);
+  bool MayContain(uint64_t hash) const;
+
+  int64_t num_bits() const { return static_cast<int64_t>(words_.size()) * 64; }
+  int num_hashes() const { return num_hashes_; }
+  int64_t keys_added() const { return keys_added_; }
+
+  /// Size in bytes (what shipping the filter costs in the distributed
+  /// model).
+  int64_t SizeBytes() const { return static_cast<int64_t>(words_.size()) * 8; }
+
+  /// Predicted false-positive rate for the keys added so far.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  /// i-th derived probe position via double hashing.
+  uint64_t ProbePosition(uint64_t hash, int i) const;
+
+  std::vector<uint64_t> words_;
+  int num_hashes_;
+  int64_t keys_added_ = 0;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_BLOOM_BLOOM_FILTER_H_

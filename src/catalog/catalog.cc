@@ -1,0 +1,113 @@
+#include "src/catalog/catalog.h"
+
+namespace magicdb {
+
+Status Catalog::CheckNameFree(const std::string& name) const {
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  return Status::OK();
+}
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
+  Schema qualified = schema.WithQualifier(name);
+  tables_.push_back(std::make_unique<Table>(name, qualified));
+  Table* table = tables_.back().get();
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kBaseTable;
+  entry.name = name;
+  entry.schema = qualified;
+  entry.table = table;
+  entries_.emplace(name, std::move(entry));
+  return table;
+}
+
+StatusOr<Table*> Catalog::CreateRemoteTable(const std::string& name,
+                                            Schema schema, int site) {
+  if (site <= kLocalSite) {
+    return Status::InvalidArgument("remote site must be > 0, got " +
+                                   std::to_string(site));
+  }
+  MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
+  Schema qualified = schema.WithQualifier(name);
+  tables_.push_back(std::make_unique<Table>(name, qualified));
+  Table* table = tables_.back().get();
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kRemoteTable;
+  entry.name = name;
+  entry.schema = qualified;
+  entry.table = table;
+  entry.site = site;
+  entries_.emplace(name, std::move(entry));
+  return table;
+}
+
+Status Catalog::RegisterView(const std::string& name, LogicalPtr plan) {
+  MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
+  if (!plan) return Status::InvalidArgument("view plan is null");
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kView;
+  entry.name = name;
+  entry.schema = plan->schema().WithQualifier(name);
+  entry.view_plan = std::move(plan);
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::RegisterFunction(std::unique_ptr<TableFunction> function) {
+  if (!function) return Status::InvalidArgument("function is null");
+  const std::string name = function->name();
+  MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
+  functions_.push_back(std::move(function));
+  TableFunction* fn = functions_.back().get();
+  CatalogEntry entry;
+  entry.kind = CatalogEntry::Kind::kTableFunction;
+  entry.name = name;
+  entry.schema = fn->RelationSchema().WithQualifier(name);
+  entry.function = fn;
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+StatusOr<const CatalogEntry*> Catalog::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::Analyze(const std::string& name, int histogram_buckets) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  CatalogEntry& entry = it->second;
+  if (entry.table == nullptr) {
+    return Status::InvalidArgument("relation has no stored data to analyze: " +
+                                   name);
+  }
+  entry.stats = TableStats::Analyze(*entry.table, histogram_buckets);
+  entry.stats_valid = true;
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeAll(int histogram_buckets) {
+  for (auto& [name, entry] : entries_) {
+    if (entry.table != nullptr) {
+      entry.stats = TableStats::Analyze(*entry.table, histogram_buckets);
+      entry.stats_valid = true;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,92 @@
+#ifndef MAGICDB_CATALOG_CATALOG_H_
+#define MAGICDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/plan/logical_plan.h"
+#include "src/stats/table_stats.h"
+#include "src/storage/table.h"
+#include "src/udr/table_function.h"
+
+namespace magicdb {
+
+/// Site 0 is the local site; higher numbers are remote sites in the
+/// distributed cost model.
+constexpr int kLocalSite = 0;
+
+/// A named relation. The paper's central abstraction is the *virtual
+/// relation*: anything that is not a locally materialized base table —
+/// views, remote relations, user-defined relations (§1, §5).
+struct CatalogEntry {
+  enum class Kind { kBaseTable, kView, kRemoteTable, kTableFunction };
+
+  Kind kind = Kind::kBaseTable;
+  std::string name;
+  /// Output schema qualified by `name`.
+  Schema schema;
+
+  /// Base and remote tables.
+  Table* table = nullptr;
+  int site = kLocalSite;
+
+  /// Views: the bound logical plan of the definition.
+  LogicalPtr view_plan;
+
+  /// Table functions.
+  TableFunction* function = nullptr;
+
+  /// Stored-relation statistics (base and remote); filled by Analyze.
+  TableStats stats;
+  bool stats_valid = false;
+
+  bool IsVirtual() const { return kind != Kind::kBaseTable; }
+};
+
+/// Name -> relation registry; owns all tables and functions. Case-sensitive
+/// names.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty local base table.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Creates an empty table homed at `site` (> 0). Joins against it pay
+  /// communication costs.
+  StatusOr<Table*> CreateRemoteTable(const std::string& name, Schema schema,
+                                     int site);
+
+  /// Registers a view over an already-bound logical plan. The view's schema
+  /// is the plan's schema requalified by the view name.
+  Status RegisterView(const std::string& name, LogicalPtr plan);
+
+  /// Registers a user-defined relation.
+  Status RegisterFunction(std::unique_ptr<TableFunction> function);
+
+  StatusOr<const CatalogEntry*> Lookup(const std::string& name) const;
+
+  /// Recomputes statistics for one stored relation.
+  Status Analyze(const std::string& name, int histogram_buckets = 16);
+
+  /// Recomputes statistics for every stored relation.
+  Status AnalyzeAll(int histogram_buckets = 16);
+
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  Status CheckNameFree(const std::string& name) const;
+
+  std::map<std::string, CatalogEntry> entries_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<TableFunction>> functions_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_CATALOG_CATALOG_H_

@@ -1,0 +1,17 @@
+#include "src/common/cost_counters.h"
+
+#include <sstream>
+
+namespace magicdb {
+
+std::string CostCounters::ToString() const {
+  std::ostringstream os;
+  os << "{pages_read=" << pages_read << " pages_written=" << pages_written
+     << " tuples=" << tuples_processed << " exprs=" << exprs_evaluated
+     << " hashes=" << hash_operations << " msgs=" << messages_sent
+     << " bytes=" << bytes_shipped << " fn_calls=" << function_invocations
+     << " total_cost=" << TotalCost() << "}";
+  return os.str();
+}
+
+}  // namespace magicdb

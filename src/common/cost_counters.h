@@ -1,0 +1,108 @@
+#ifndef MAGICDB_COMMON_COST_COUNTERS_H_
+#define MAGICDB_COMMON_COST_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace magicdb {
+
+/// Unit cost constants shared by the cost model (prediction) and the
+/// executor (measurement). The unit of cost is one page I/O; CPU and
+/// communication work are weighted into the same unit, System-R style.
+struct CostConstants {
+  /// Bytes per storage page.
+  static constexpr int64_t kPageSizeBytes = 4096;
+  /// Cost of touching one tuple on the CPU, in page-I/O units.
+  static constexpr double kCpuTupleCost = 0.01;
+  /// Extra CPU cost of evaluating one predicate/expression on a tuple.
+  static constexpr double kCpuExprCost = 0.002;
+  /// Cost of one hash-table insert or probe.
+  static constexpr double kCpuHashCost = 0.005;
+  /// Fixed cost of one network message, in page-I/O units.
+  static constexpr double kMessageCost = 2.0;
+  /// Cost of shipping one byte across sites.
+  static constexpr double kBytePerCost = 1.0 / kPageSizeBytes;
+  /// Cost of invoking a user-defined table function once.
+  static constexpr double kFunctionInvokeCost = 5.0;
+};
+
+/// Pages occupied by `rows` tuples of `width_bytes` each, under the
+/// rows-per-page packing convention shared by storage, executor and cost
+/// model: rpp = max(1, page/width); pages = ceil(rows / rpp). Using one
+/// helper everywhere keeps predicted and measured page counts identical.
+inline int64_t PagesForRows(int64_t rows, int64_t width_bytes) {
+  if (rows <= 0) return 0;
+  if (width_bytes <= 0) width_bytes = 1;
+  const int64_t rows_per_page =
+      CostConstants::kPageSizeBytes / width_bytes > 0
+          ? CostConstants::kPageSizeBytes / width_bytes
+          : 1;
+  return (rows + rows_per_page - 1) / rows_per_page;
+}
+
+/// Rows that fit on one page for tuples of `width_bytes`.
+inline int64_t RowsPerPage(int64_t width_bytes) {
+  if (width_bytes <= 0) width_bytes = 1;
+  const int64_t rpp = CostConstants::kPageSizeBytes / width_bytes;
+  return rpp > 0 ? rpp : 1;
+}
+
+/// Accumulates the work an execution actually performed, in the same units
+/// the optimizer predicts. Experiment E3 (Table 1) compares the two
+/// directly. One counter instance is threaded through an execution context.
+struct CostCounters {
+  int64_t pages_read = 0;
+  int64_t pages_written = 0;
+  int64_t tuples_processed = 0;
+  int64_t exprs_evaluated = 0;
+  int64_t hash_operations = 0;
+  int64_t messages_sent = 0;
+  int64_t bytes_shipped = 0;
+  int64_t function_invocations = 0;
+
+  void Reset() { *this = CostCounters(); }
+
+  /// Total cost in page-I/O units under the shared constants.
+  double TotalCost() const {
+    return static_cast<double>(pages_read + pages_written) +
+           CostConstants::kCpuTupleCost * tuples_processed +
+           CostConstants::kCpuExprCost * exprs_evaluated +
+           CostConstants::kCpuHashCost * hash_operations +
+           CostConstants::kMessageCost * messages_sent +
+           CostConstants::kBytePerCost * bytes_shipped +
+           CostConstants::kFunctionInvokeCost * function_invocations;
+  }
+
+  CostCounters& operator+=(const CostCounters& o) {
+    pages_read += o.pages_read;
+    pages_written += o.pages_written;
+    tuples_processed += o.tuples_processed;
+    exprs_evaluated += o.exprs_evaluated;
+    hash_operations += o.hash_operations;
+    messages_sent += o.messages_sent;
+    bytes_shipped += o.bytes_shipped;
+    function_invocations += o.function_invocations;
+    return *this;
+  }
+
+  /// Per-counter difference (this - other); used to attribute cost to a
+  /// plan phase by snapshotting before and after.
+  CostCounters Delta(const CostCounters& before) const {
+    CostCounters d;
+    d.pages_read = pages_read - before.pages_read;
+    d.pages_written = pages_written - before.pages_written;
+    d.tuples_processed = tuples_processed - before.tuples_processed;
+    d.exprs_evaluated = exprs_evaluated - before.exprs_evaluated;
+    d.hash_operations = hash_operations - before.hash_operations;
+    d.messages_sent = messages_sent - before.messages_sent;
+    d.bytes_shipped = bytes_shipped - before.bytes_shipped;
+    d.function_invocations = function_invocations - before.function_invocations;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_COST_COUNTERS_H_

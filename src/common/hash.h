@@ -1,0 +1,39 @@
+#ifndef MAGICDB_COMMON_HASH_H_
+#define MAGICDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace magicdb {
+
+/// 64-bit FNV-1a over raw bytes. Used for hash joins, hash indexes and Bloom
+/// filters; not cryptographic.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashUint64(uint64_t v, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashBytes(&v, sizeof(v), seed);
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combines two hashes (boost-style mix).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_HASH_H_

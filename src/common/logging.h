@@ -1,0 +1,66 @@
+#ifndef MAGICDB_COMMON_LOGGING_H_
+#define MAGICDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace magicdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted. Defaults to kWarning so tests
+/// and benchmarks stay quiet; examples raise it for narration.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Logs and aborts; used by MAGICDB_CHECK failures.
+[[noreturn]] void FatalError(const char* file, int line,
+                             const std::string& message);
+
+}  // namespace internal_logging
+}  // namespace magicdb
+
+#define MAGICDB_LOG(level)                                          \
+  ::magicdb::internal_logging::LogMessage(::magicdb::LogLevel::level, \
+                                          __FILE__, __LINE__)
+
+/// Invariant check: always on (including release builds) because optimizer
+/// and executor invariants guard correctness of query results.
+#define MAGICDB_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::magicdb::internal_logging::FatalError(__FILE__, __LINE__,            \
+                                              "Check failed: " #cond);       \
+    }                                                                        \
+  } while (0)
+
+#define MAGICDB_CHECK_OK(expr)                                             \
+  do {                                                                     \
+    ::magicdb::Status _st = (expr);                                        \
+    if (!_st.ok()) {                                                       \
+      ::magicdb::internal_logging::FatalError(                             \
+          __FILE__, __LINE__, "Check failed (status): " + _st.ToString()); \
+    }                                                                      \
+  } while (0)
+
+#endif  // MAGICDB_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef MAGICDB_COMMON_RANDOM_H_
+#define MAGICDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace magicdb {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeding a xorshift128+ core).
+/// Workload generators and property tests use this so that every run — on
+/// any platform — sees identical data.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // splitmix64 expansion of the seed into two non-zero state words.
+    state0_ = SplitMix(&seed);
+    state1_ = SplitMix(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  /// Uniform over [0, 2^64).
+  uint64_t NextUint64() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    const uint64_t result = s0 + s1;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  /// Uniform over [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform over [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_RANDOM_H_

@@ -1,0 +1,63 @@
+#ifndef MAGICDB_COMMON_STATUSOR_H_
+#define MAGICDB_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace magicdb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Mirrors absl::StatusOr in spirit; accessors assert on misuse.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error Status. Constructing from an OK
+  /// status is a programming error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_STATUSOR_H_

@@ -1,0 +1,144 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "src/exec/basic_ops.h"
+#include "src/sql/binder.h"
+#include "src/sql/parser.h"
+
+namespace magicdb {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  std::vector<size_t> widths(schema.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    widths[c] = schema.column(c).QualifiedName().size();
+  }
+  const size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      row.push_back(rows[r][c].ToString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    os << (c > 0 ? " | " : "") << schema.column(c).QualifiedName();
+    os << std::string(widths[c] - schema.column(c).QualifiedName().size(),
+                      ' ');
+  }
+  os << "\n";
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+  os << std::string(total > 3 ? total - 3 : 0, '-') << "\n";
+  for (const auto& row : cells) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      os << (c > 0 ? " | " : "") << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  }
+  if (rows.size() > shown) {
+    os << "... (" << rows.size() << " rows total)\n";
+  } else {
+    os << "(" << rows.size() << " rows)\n";
+  }
+  return os.str();
+}
+
+Status Database::Execute(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      Schema schema;
+      for (const ColumnDef& col : stmt.columns) {
+        schema.AddColumn({"", col.name, col.type});
+      }
+      MAGICDB_ASSIGN_OR_RETURN(Table * table,
+                               catalog_.CreateTable(stmt.name, schema));
+      (void)table;
+      return Status::OK();
+    }
+    case Statement::Kind::kCreateView: {
+      Binder binder(&catalog_);
+      MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan,
+                               binder.BindSelect(*stmt.select));
+      return catalog_.RegisterView(stmt.name, plan);
+    }
+    case Statement::Kind::kSelect:
+      return Status::InvalidArgument(
+          "Execute() is for DDL; use Query() for SELECT statements");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::LoadRows(const std::string& table, std::vector<Tuple> rows) {
+  MAGICDB_ASSIGN_OR_RETURN(const CatalogEntry* entry, catalog_.Lookup(table));
+  if (entry->table == nullptr) {
+    return Status::InvalidArgument("relation has no storage: " + table);
+  }
+  MAGICDB_RETURN_IF_ERROR(
+      const_cast<Table*>(entry->table)->InsertAll(std::move(rows)));
+  return catalog_.Analyze(table);
+}
+
+StatusOr<LogicalPtr> Database::Bind(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Binder binder(&catalog_);
+  return binder.BindSelect(*stmt.select);
+}
+
+StatusOr<QueryResult> Database::Query(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Binder binder(&catalog_);
+  MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan, binder.BindSelect(*stmt.select));
+
+  Optimizer optimizer(&catalog_, optimizer_options_);
+  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized, optimizer.Optimize(plan));
+
+  OpPtr root = std::move(optimized.root);
+  if (stmt.select->limit >= 0) {
+    root = std::make_unique<LimitOp>(std::move(root), stmt.select->limit);
+  }
+
+  QueryResult result;
+  result.schema = plan->schema();
+  result.explain = optimized.explain;
+  result.est_cost = optimized.est_cost;
+  result.est_rows = optimized.est_rows;
+  result.filter_joins = optimized.filter_joins;
+  result.optimizer_stats = optimizer.stats();
+
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(optimizer_options_.memory_budget_bytes);
+  MAGICDB_ASSIGN_OR_RETURN(result.rows, ExecuteToVector(root.get(), &ctx));
+  result.counters = ctx.counters();
+  // Collect measured per-phase Filter Join costs from the executed tree.
+  std::function<void(const Operator&)> collect = [&](const Operator& op) {
+    if (const auto* fj = dynamic_cast<const FilterJoinOp*>(&op)) {
+      result.filter_join_measured.push_back(fj->measured());
+    }
+    for (const Operator* child : op.Children()) collect(*child);
+  };
+  collect(*root);
+  return result;
+}
+
+StatusOr<std::string> Database::Explain(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan, Bind(sql));
+  Optimizer optimizer(&catalog_, optimizer_options_);
+  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized, optimizer.Optimize(plan));
+  return optimized.explain;
+}
+
+}  // namespace magicdb

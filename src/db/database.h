@@ -1,0 +1,79 @@
+#ifndef MAGICDB_DB_DATABASE_H_
+#define MAGICDB_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/statusor.h"
+#include "src/exec/filter_join_op.h"
+#include "src/exec/operator.h"
+#include "src/optimizer/optimizer.h"
+
+namespace magicdb {
+
+/// Result of running one SQL query.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+  /// Work the execution actually performed (page I/O, CPU, communication).
+  CostCounters counters;
+  /// The optimizer's physical plan rendering and estimates.
+  std::string explain;
+  double est_cost = 0.0;
+  double est_rows = 0.0;
+  /// Table-1 breakdowns of Filter Joins in the executed plan (predicted).
+  std::vector<FilterJoinCostBreakdown> filter_joins;
+  /// Measured per-phase costs of the executed Filter Joins, outermost
+  /// first (same order as `filter_joins` when plans align).
+  std::vector<FilterJoinMeasured> filter_join_measured;
+  /// Optimization effort spent planning this query.
+  OptimizerStats optimizer_stats;
+
+  /// Pretty-prints rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Top-level embedded-database facade tying catalog, SQL front end,
+/// optimizer and executor together. Typical use:
+///
+///   Database db;
+///   db.Execute("CREATE TABLE Emp (did INT, sal DOUBLE, age INT)");
+///   db.LoadRows("Emp", rows);
+///   db.Execute("CREATE VIEW DepAvgSal AS SELECT did, AVG(sal) AS avgsal "
+///              "FROM Emp GROUP BY did");
+///   auto result = db.Query("SELECT ... FROM Emp E, Dept D, DepAvgSal V "
+///                          "WHERE ...");
+class Database {
+ public:
+  Database() = default;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+
+  OptimizerOptions* mutable_optimizer_options() { return &optimizer_options_; }
+
+  /// Executes a DDL statement (CREATE TABLE / CREATE VIEW).
+  Status Execute(const std::string& sql);
+
+  /// Bulk-loads rows into a table and refreshes its statistics.
+  Status LoadRows(const std::string& table, std::vector<Tuple> rows);
+
+  /// Parses, binds, optimizes and runs a SELECT.
+  StatusOr<QueryResult> Query(const std::string& sql);
+
+  /// Plans a SELECT without running it; returns the EXPLAIN text.
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  /// Parses and binds a SELECT into a logical plan (no optimization).
+  StatusOr<LogicalPtr> Bind(const std::string& sql);
+
+ private:
+  Catalog catalog_;
+  OptimizerOptions optimizer_options_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_DB_DATABASE_H_

@@ -1,0 +1,62 @@
+#ifndef MAGICDB_EXEC_AGGREGATE_OP_H_
+#define MAGICDB_EXEC_AGGREGATE_OP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/operator.h"
+#include "src/expr/expr.h"
+#include "src/plan/logical_plan.h"
+
+namespace magicdb {
+
+/// Hash aggregation: groups by the group-by expressions and computes the
+/// aggregate specs per group. Output layout: group columns, then aggregate
+/// results, matching AggregateNode.
+///
+/// With no group-by columns, exactly one output row is produced (SQL scalar
+/// aggregate semantics, COUNT(*)=0 on empty input).
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OpPtr child, std::vector<ExprPtr> group_by,
+                  std::vector<AggSpec> aggs, Schema schema);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;        // non-null inputs (or rows for COUNT(*))
+    double sum = 0.0;         // numeric running sum
+    int64_t isum = 0;         // exact int64 running sum
+    bool int_sum = true;      // all inputs so far were int64
+    Value min, max;           // extremes (NULL until first input)
+  };
+
+  struct Group {
+    Tuple key;
+    std::vector<AggState> states;
+  };
+
+  Status Accumulate(const Tuple& row, Group* group);
+  StatusOr<Value> Finalize(const AggSpec& spec, const AggState& state) const;
+
+  OpPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Group> groups_;  // output order = first-seen order
+  std::unordered_map<uint64_t, std::vector<int64_t>> group_index_;
+  size_t next_group_ = 0;
+  bool aggregated_ = false;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_AGGREGATE_OP_H_

@@ -1,0 +1,274 @@
+#include "src/exec/basic_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magicdb {
+
+// ----- FilterOp -----
+
+FilterOp::FilterOp(OpPtr child, ExprPtr predicate)
+    : Operator(child->schema()),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Status FilterOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    MAGICDB_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    ctx_->counters().exprs_evaluated += 1;
+    if (EvalPredicate(*predicate_, *out)) return Status::OK();
+  }
+}
+
+Status FilterOp::Close() { return child_->Close(); }
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+// ----- ProjectOp -----
+
+ProjectOp::ProjectOp(OpPtr child, std::vector<ExprPtr> exprs, Schema schema)
+    : Operator(std::move(schema)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Status ProjectOp::Next(Tuple* out, bool* eof) {
+  Tuple in;
+  MAGICDB_RETURN_IF_ERROR(child_->Next(&in, eof));
+  if (*eof) return Status::OK();
+  Tuple result;
+  result.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    ctx_->counters().exprs_evaluated += 1;
+    MAGICDB_ASSIGN_OR_RETURN(Value v, e->Eval(in));
+    result.push_back(std::move(v));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status ProjectOp::Close() { return child_->Close(); }
+
+std::string ProjectOp::Describe() const {
+  std::string s = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += exprs_[i]->ToString();
+  }
+  return s + ")";
+}
+
+// ----- DistinctOp -----
+
+DistinctOp::DistinctOp(OpPtr child)
+    : Operator(child->schema()), child_(std::move(child)) {}
+
+Status DistinctOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Status DistinctOp::Next(Tuple* out, bool* eof) {
+  std::vector<int> all(schema_.num_columns());
+  for (int i = 0; i < schema_.num_columns(); ++i) all[i] = i;
+  while (true) {
+    MAGICDB_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    ctx_->counters().hash_operations += 1;
+    const uint64_t h = HashTupleColumns(*out, all);
+    std::vector<Tuple>& chain = seen_[h];
+    bool duplicate = false;
+    for (const Tuple& t : chain) {
+      if (CompareTuples(t, *out) == 0) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      chain.push_back(*out);
+      return Status::OK();
+    }
+  }
+}
+
+Status DistinctOp::Close() {
+  seen_.clear();
+  return child_->Close();
+}
+
+std::string DistinctOp::Describe() const { return "Distinct"; }
+
+// ----- SortOp -----
+
+SortOp::SortOp(OpPtr child, std::vector<SortKey> keys)
+    : Operator(child->schema()),
+      child_(std::move(child)),
+      keys_(std::move(keys)) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  sorted_.clear();
+  next_ = 0;
+  MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
+  std::vector<Tuple> rows;
+  std::vector<Tuple> row_keys;
+  int64_t bytes = 0;
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(child_->Next(&t, &eof));
+    if (eof) break;
+    Tuple k;
+    k.reserve(keys_.size());
+    for (const SortKey& sk : keys_) {
+      ctx->counters().exprs_evaluated += 1;
+      MAGICDB_ASSIGN_OR_RETURN(Value v, sk.expr->Eval(t));
+      k.push_back(std::move(v));
+    }
+    bytes += TupleByteWidth(t);
+    rows.push_back(std::move(t));
+    row_keys.push_back(std::move(k));
+  }
+  MAGICDB_RETURN_IF_ERROR(child_->Close());
+
+  const int64_t n = static_cast<int64_t>(rows.size());
+  std::vector<int64_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const int c = row_keys[a][k].Compare(row_keys[b][k]);
+      if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+    }
+    return a < b;  // stable tiebreak
+  });
+  sorted_.reserve(rows.size());
+  for (int64_t i : order) sorted_.push_back(std::move(rows[i]));
+
+  // Charge n log2 n comparisons as CPU work.
+  if (n > 1) {
+    ctx->counters().exprs_evaluated +=
+        static_cast<int64_t>(static_cast<double>(n) *
+                             std::ceil(std::log2(static_cast<double>(n))));
+  }
+  // External pass when the input exceeds the memory budget: one full
+  // write + read of the data.
+  if (bytes > ctx->memory_budget_bytes()) {
+    const int64_t pages =
+        PagesForRows(n, std::max<int64_t>(1, bytes / std::max<int64_t>(1, n)));
+    ctx->counters().pages_written += pages;
+    ctx->counters().pages_read += pages;
+  }
+  return Status::OK();
+}
+
+Status SortOp::Next(Tuple* out, bool* eof) {
+  if (next_ >= sorted_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = sorted_[next_++];
+  *eof = false;
+  return Status::OK();
+}
+
+Status SortOp::Close() {
+  sorted_.clear();
+  return Status::OK();
+}
+
+std::string SortOp::Describe() const {
+  std::string s = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += keys_[i].expr->ToString();
+    if (!keys_[i].ascending) s += " DESC";
+  }
+  return s + ")";
+}
+
+// ----- MaterializeOp -----
+
+MaterializeOp::MaterializeOp(OpPtr child)
+    : Operator(child->schema()), child_(std::move(child)) {}
+
+Status MaterializeOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_row_ = 0;
+  rows_per_page_ = RowsPerPage(schema_.TupleWidthBytes());
+  if (!spooled_) {
+    MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
+    while (true) {
+      Tuple t;
+      bool eof = false;
+      MAGICDB_RETURN_IF_ERROR(child_->Next(&t, &eof));
+      if (eof) break;
+      rows_.push_back(std::move(t));
+    }
+    MAGICDB_RETURN_IF_ERROR(child_->Close());
+    ctx->counters().pages_written +=
+        PagesForRows(static_cast<int64_t>(rows_.size()),
+                     schema_.TupleWidthBytes());
+    spooled_ = true;
+  }
+  return Status::OK();
+}
+
+Status MaterializeOp::Next(Tuple* out, bool* eof) {
+  if (next_row_ >= static_cast<int64_t>(rows_.size())) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (next_row_ % rows_per_page_ == 0) {
+    ctx_->counters().pages_read += 1;
+  }
+  ctx_->counters().tuples_processed += 1;
+  *out = rows_[next_row_++];
+  *eof = false;
+  return Status::OK();
+}
+
+Status MaterializeOp::Close() { return Status::OK(); }
+
+std::string MaterializeOp::Describe() const {
+  return "Materialize(spooled=" + std::string(spooled_ ? "yes" : "no") + ")";
+}
+
+// ----- LimitOp -----
+
+LimitOp::LimitOp(OpPtr child, int64_t limit)
+    : Operator(child->schema()), child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open(ExecContext* ctx) {
+  produced_ = 0;
+  return child_->Open(ctx);
+}
+
+Status LimitOp::Next(Tuple* out, bool* eof) {
+  if (produced_ >= limit_) {
+    *eof = true;
+    return Status::OK();
+  }
+  MAGICDB_RETURN_IF_ERROR(child_->Next(out, eof));
+  if (!*eof) ++produced_;
+  return Status::OK();
+}
+
+Status LimitOp::Close() { return child_->Close(); }
+
+std::string LimitOp::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+}  // namespace magicdb

@@ -1,0 +1,145 @@
+#ifndef MAGICDB_EXEC_BASIC_OPS_H_
+#define MAGICDB_EXEC_BASIC_OPS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/exec/operator.h"
+#include "src/expr/expr.h"
+
+namespace magicdb {
+
+/// Drops tuples failing `predicate` (NULL counts as failing).
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OpPtr child, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ExprPtr predicate_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Computes output columns from expressions over the child tuple.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OpPtr child, std::vector<ExprPtr> exprs, Schema schema);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<ExprPtr> exprs_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Hash-based duplicate elimination over whole tuples.
+class DistinctOp final : public Operator {
+ public:
+  explicit DistinctOp(OpPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_map<uint64_t, std::vector<Tuple>> seen_;
+};
+
+/// Full sort on key expressions. Keys are computed once per tuple; if the
+/// input exceeds the context memory budget, one external merge pass is
+/// charged (write + read of all pages).
+class SortOp final : public Operator {
+ public:
+  struct SortKey {
+    ExprPtr expr;
+    bool ascending = true;
+  };
+
+  SortOp(OpPtr child, std::vector<SortKey> keys);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Tuple> sorted_;
+  size_t next_ = 0;
+};
+
+/// Spools the child on first Open and replays the spool on every
+/// (re-)open. Charges page writes when spooling and page reads when
+/// replaying — the executor counterpart of ProductionCost_P in Table 1.
+class MaterializeOp final : public Operator {
+ public:
+  explicit MaterializeOp(OpPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+  /// Spooled rows (valid after Open).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  OpPtr child_;
+  ExecContext* ctx_ = nullptr;
+  bool spooled_ = false;
+  std::vector<Tuple> rows_;
+  int64_t next_row_ = 0;
+  int64_t rows_per_page_ = 1;
+};
+
+/// Emits at most `limit` tuples.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OpPtr child, int64_t limit);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_BASIC_OPS_H_

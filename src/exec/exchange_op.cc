@@ -1,0 +1,46 @@
+#include "src/exec/exchange_op.h"
+
+#include "src/common/cost_counters.h"
+
+namespace magicdb {
+
+ShipOp::ShipOp(OpPtr child, int from_site, int to_site)
+    : Operator(child->schema()),
+      child_(std::move(child)),
+      from_site_(from_site),
+      to_site_(to_site) {}
+
+Status ShipOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  bytes_in_batch_ = 0;
+  opened_message_charged_ = false;
+  return child_->Open(ctx);
+}
+
+Status ShipOp::Next(Tuple* out, bool* eof) {
+  MAGICDB_RETURN_IF_ERROR(child_->Next(out, eof));
+  if (*eof) return Status::OK();
+  if (from_site_ == to_site_) return Status::OK();  // no-op locally
+  if (!opened_message_charged_) {
+    ctx_->counters().messages_sent += 1;  // first batch / connection
+    opened_message_charged_ = true;
+  }
+  const int64_t bytes = TupleByteWidth(*out);
+  ctx_->counters().bytes_shipped += bytes;
+  bytes_in_batch_ += bytes;
+  // One additional message per full page of payload.
+  while (bytes_in_batch_ >= CostConstants::kPageSizeBytes) {
+    bytes_in_batch_ -= CostConstants::kPageSizeBytes;
+    ctx_->counters().messages_sent += 1;
+  }
+  return Status::OK();
+}
+
+Status ShipOp::Close() { return child_->Close(); }
+
+std::string ShipOp::Describe() const {
+  return "Ship(site" + std::to_string(from_site_) + " -> site" +
+         std::to_string(to_site_) + ")";
+}
+
+}  // namespace magicdb

@@ -1,0 +1,103 @@
+#ifndef MAGICDB_EXEC_EXEC_CONTEXT_H_
+#define MAGICDB_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/cost_counters.h"
+#include "src/common/statusor.h"
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+
+namespace magicdb {
+
+/// A materialized magic filter set, produced by a FilterJoinOp and consumed
+/// inside the rewritten inner plan (FilterSetScanOp / FilterProbeOp). The
+/// exact implementation keeps the distinct key tuples plus a hash set; the
+/// lossy implementation keeps a Bloom filter (§3.3 Limitation 3).
+class FilterSetBinding {
+ public:
+  /// Exact filter set over `keys` (distinct key tuples, schema `schema`).
+  static std::shared_ptr<FilterSetBinding> Exact(Schema schema,
+                                                 std::vector<Tuple> keys);
+
+  /// Bloom filter set: remembers key hashes only. `bits_per_key` controls
+  /// the false-positive rate.
+  static std::shared_ptr<FilterSetBinding> Bloom(Schema schema,
+                                                 const std::vector<Tuple>& keys,
+                                                 double bits_per_key = 10.0);
+
+  bool is_bloom() const { return bloom_.has_value(); }
+  const Schema& schema() const { return schema_; }
+
+  /// Distinct key tuples; empty for Bloom bindings (lossy sets cannot be
+  /// enumerated).
+  const std::vector<Tuple>& keys() const { return keys_; }
+
+  int64_t NumKeys() const { return num_keys_; }
+
+  /// Membership probe over all key columns of `tuple` selected by
+  /// `key_indexes`. Bloom bindings may return false positives.
+  bool MayContain(const Tuple& tuple,
+                  const std::vector<int>& key_indexes) const;
+
+  /// Bytes this filter set occupies (shipping / AvailCost_F accounting).
+  int64_t SizeBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> keys_;
+  std::unordered_map<uint64_t, std::vector<Tuple>> exact_set_;
+  std::optional<BloomFilter> bloom_;
+  int64_t num_keys_ = 0;
+};
+
+/// Per-execution state: cost counters, memory budget for sort spilling, and
+/// the named filter-set bindings magic-rewritten plans reference.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  CostCounters& counters() { return counters_; }
+  const CostCounters& counters() const { return counters_; }
+
+  /// Memory available to sorts before they are charged external passes.
+  int64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+  void set_memory_budget_bytes(int64_t b) { memory_budget_bytes_ = b; }
+
+  void BindFilterSet(const std::string& id,
+                     std::shared_ptr<FilterSetBinding> binding) {
+    filter_sets_[id] = std::move(binding);
+  }
+  void UnbindFilterSet(const std::string& id) { filter_sets_.erase(id); }
+
+  StatusOr<std::shared_ptr<FilterSetBinding>> GetFilterSet(
+      const std::string& id) const {
+    auto it = filter_sets_.find(id);
+    if (it == filter_sets_.end()) {
+      return Status::Internal("filter set not bound: " + id);
+    }
+    return it->second;
+  }
+
+  /// Returns a process-unique id for a new filter-set binding.
+  std::string NextFilterSetId() {
+    return "filter_set_" + std::to_string(next_filter_set_id_++);
+  }
+
+ private:
+  CostCounters counters_;
+  int64_t memory_budget_bytes_ = 4 * 1024 * 1024;
+  std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
+  int64_t next_filter_set_id_ = 0;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_EXEC_CONTEXT_H_

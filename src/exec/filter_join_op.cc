@@ -1,0 +1,271 @@
+#include "src/exec/filter_join_op.h"
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+const char* FilterSetImplName(FilterSetImpl impl) {
+  switch (impl) {
+    case FilterSetImpl::kExact:
+      return "exact";
+    case FilterSetImpl::kBloom:
+      return "bloom";
+  }
+  return "?";
+}
+
+// ----- FilterProbeOp -----
+
+FilterProbeOp::FilterProbeOp(OpPtr child, std::string binding_id,
+                             std::vector<int> key_indexes)
+    : Operator(child->schema()),
+      child_(std::move(child)),
+      binding_id_(std::move(binding_id)),
+      key_indexes_(std::move(key_indexes)) {}
+
+Status FilterProbeOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  MAGICDB_ASSIGN_OR_RETURN(binding_, ctx->GetFilterSet(binding_id_));
+  return child_->Open(ctx);
+}
+
+Status FilterProbeOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    MAGICDB_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    ctx_->counters().hash_operations += 1;
+    if (binding_->MayContain(*out, key_indexes_)) return Status::OK();
+  }
+}
+
+Status FilterProbeOp::Close() { return child_->Close(); }
+
+std::string FilterProbeOp::Describe() const {
+  return "FilterProbe(" + binding_id_ + ")";
+}
+
+// ----- FilterJoinOp -----
+
+FilterJoinOp::FilterJoinOp(OpPtr outer, OpPtr inner, std::string binding_id,
+                           std::vector<int> outer_key_indexes,
+                           std::vector<int> inner_key_indexes,
+                           ExprPtr residual, FilterSetImpl impl,
+                           int ship_filter_to_site, double bloom_bits_per_key,
+                           std::vector<int> filter_key_positions)
+    : Operator(outer->schema().Concat(inner->schema())),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      binding_id_(std::move(binding_id)),
+      outer_keys_(std::move(outer_key_indexes)),
+      inner_keys_(std::move(inner_key_indexes)),
+      residual_(std::move(residual)),
+      impl_(impl),
+      ship_filter_to_site_(ship_filter_to_site),
+      bloom_bits_per_key_(bloom_bits_per_key) {
+  MAGICDB_CHECK(outer_keys_.size() == inner_keys_.size());
+  MAGICDB_CHECK(!outer_keys_.empty());
+  if (filter_key_positions.empty()) {
+    filter_outer_keys_ = outer_keys_;
+  } else {
+    for (int pos : filter_key_positions) {
+      MAGICDB_CHECK(pos >= 0 && pos < static_cast<int>(outer_keys_.size()));
+      filter_outer_keys_.push_back(outer_keys_[pos]);
+    }
+  }
+}
+
+Status FilterJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  production_.clear();
+  build_.clear();
+  outer_pos_ = 0;
+  have_outer_ = false;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  measured_ = FilterJoinMeasured();
+  double phase_start = ctx->counters().TotalCost();
+
+  // Phase 1: materialize the production set P (= the outer, Limitation 2).
+  MAGICDB_RETURN_IF_ERROR(outer_->Open(ctx));
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(outer_->Next(&t, &eof));
+    if (eof) break;
+    production_.push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(outer_->Close());
+  const int64_t prod_width = outer_->schema().TupleWidthBytes();
+  production_rows_per_page_ = RowsPerPage(prod_width);
+  // ProductionCost_P: write the spool.
+  ctx->counters().pages_written +=
+      PagesForRows(static_cast<int64_t>(production_.size()), prod_width);
+
+  measured_.production = ctx->counters().TotalCost() - phase_start;
+  phase_start = ctx->counters().TotalCost();
+
+  // Phase 2: ProjCost_F — distinct-project the filter key columns into F
+  // (a subset of the join keys when a partial SIPS was chosen).
+  std::unordered_map<uint64_t, std::vector<Tuple>> distinct;
+  std::vector<Tuple> keys;
+  std::vector<int> identity(filter_outer_keys_.size());
+  for (size_t i = 0; i < identity.size(); ++i) {
+    identity[i] = static_cast<int>(i);
+  }
+  for (const Tuple& row : production_) {
+    if (TupleHasNullAt(row, filter_outer_keys_)) continue;
+    ctx->counters().hash_operations += 1;
+    Tuple key = ProjectTuple(row, filter_outer_keys_);
+    std::vector<Tuple>& chain = distinct[HashTupleColumns(key, identity)];
+    bool dup = false;
+    for (const Tuple& k : chain) {
+      if (CompareTuples(k, key) == 0) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      chain.push_back(key);
+      keys.push_back(std::move(key));
+    }
+  }
+  last_filter_set_size_ = static_cast<int64_t>(keys.size());
+  measured_.projection = ctx->counters().TotalCost() - phase_start;
+  phase_start = ctx->counters().TotalCost();
+
+  Schema key_schema;
+  for (int i : filter_outer_keys_) {
+    key_schema.AddColumn(outer_->schema().column(i));
+  }
+
+  std::shared_ptr<FilterSetBinding> binding;
+  if (impl_ == FilterSetImpl::kBloom) {
+    binding = FilterSetBinding::Bloom(key_schema, keys, bloom_bits_per_key_);
+  } else {
+    binding = FilterSetBinding::Exact(key_schema, std::move(keys));
+  }
+
+  // AvailCost_F: materialize F; ship it if the inner computes remotely.
+  ctx->counters().pages_written +=
+      PagesForRows(binding->NumKeys() > 0
+                       ? (impl_ == FilterSetImpl::kBloom ? 1 : binding->NumKeys())
+                       : 0,
+                   impl_ == FilterSetImpl::kBloom
+                       ? CostConstants::kPageSizeBytes
+                       : key_schema.TupleWidthBytes());
+  if (ship_filter_to_site_ > 0) {
+    ctx->counters().messages_sent += 1;
+    ctx->counters().bytes_shipped += binding->SizeBytes();
+  }
+  ctx->BindFilterSet(binding_id_, std::move(binding));
+  measured_.avail_filter = ctx->counters().TotalCost() - phase_start;
+  phase_start = ctx->counters().TotalCost();
+
+  // Phase 3: FilterCost_{R_k} — evaluate the restricted inner and build the
+  // final-join hash table on it (AvailCost_{R_k'} is pipelined => only hash
+  // work here).
+  MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
+  int64_t build_bytes = 0;
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
+    if (eof) break;
+    if (TupleHasNullAt(t, inner_keys_)) continue;
+    ctx->counters().hash_operations += 1;
+    build_bytes += TupleByteWidth(t);
+    build_[HashTupleColumns(t, inner_keys_)].push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  // R_k' over budget: Grace partitioning pass over R_k' and (via the spool
+  // that already exists) the production set.
+  if (build_bytes > ctx->memory_budget_bytes()) {
+    const int64_t build_pages =
+        (build_bytes + CostConstants::kPageSizeBytes - 1) /
+        CostConstants::kPageSizeBytes;
+    ctx->counters().pages_written += build_pages;
+    ctx->counters().pages_read += build_pages;
+  }
+  measured_.filter_inner = ctx->counters().TotalCost() - phase_start;
+  return Status::OK();
+}
+
+Status FilterJoinOp::Next(Tuple* out, bool* eof) {
+  // Phase 4: FinalJoinCost — probe the R_k' hash table with P. Each Next
+  // call's charges are attributed to the final-join phase.
+  const double next_start = ctx_->counters().TotalCost();
+  struct PhaseGuard {
+    FilterJoinMeasured* measured;
+    ExecContext* ctx;
+    double start;
+    ~PhaseGuard() {
+      measured->final_join += ctx->counters().TotalCost() - start;
+    }
+  } guard{&measured_, ctx_, next_start};
+  while (true) {
+    if (!have_outer_) {
+      if (outer_pos_ >= production_.size()) {
+        *eof = true;
+        return Status::OK();
+      }
+      if (static_cast<int64_t>(outer_pos_) % production_rows_per_page_ == 0) {
+        ctx_->counters().pages_read += 1;  // rescan of the spooled P
+      }
+      current_outer_ = production_[outer_pos_++];
+      ctx_->counters().tuples_processed += 1;
+      have_outer_ = true;
+      if (TupleHasNullAt(current_outer_, outer_keys_)) {
+        current_bucket_ = nullptr;
+        bucket_pos_ = 0;
+        continue;
+      }
+      ctx_->counters().hash_operations += 1;
+      auto it = build_.find(HashTupleColumns(current_outer_, outer_keys_));
+      current_bucket_ = it == build_.end() ? nullptr : &it->second;
+      bucket_pos_ = 0;
+    }
+    while (current_bucket_ != nullptr &&
+           bucket_pos_ < current_bucket_->size()) {
+      const Tuple& inner_row = (*current_bucket_)[bucket_pos_++];
+      if (CompareTupleColumns(current_outer_, inner_row, outer_keys_,
+                              inner_keys_) != 0) {
+        continue;
+      }
+      Tuple joined = ConcatTuples(current_outer_, inner_row);
+      if (residual_) {
+        ctx_->counters().exprs_evaluated += 1;
+        if (!EvalPredicate(*residual_, joined)) continue;
+      }
+      *out = std::move(joined);
+      *eof = false;
+      return Status::OK();
+    }
+    have_outer_ = false;
+  }
+}
+
+Status FilterJoinOp::Close() {
+  if (ctx_ != nullptr) ctx_->UnbindFilterSet(binding_id_);
+  production_.clear();
+  build_.clear();
+  return Status::OK();
+}
+
+const FilterJoinOp* FindFilterJoin(const Operator& root) {
+  if (const auto* fj = dynamic_cast<const FilterJoinOp*>(&root)) return fj;
+  for (const Operator* child : root.Children()) {
+    const FilterJoinOp* found = FindFilterJoin(*child);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+std::string FilterJoinOp::Describe() const {
+  std::string s = "FilterJoin(impl=" + std::string(FilterSetImplName(impl_));
+  if (ship_filter_to_site_ > 0) {
+    s += ", ship_to_site=" + std::to_string(ship_filter_to_site_);
+  }
+  return s + ")";
+}
+
+}  // namespace magicdb

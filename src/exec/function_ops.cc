@@ -1,0 +1,168 @@
+#include "src/exec/function_ops.h"
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+namespace {
+std::vector<int> Identity(size_t n) {
+  std::vector<int> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+  return v;
+}
+}  // namespace
+
+// ----- FunctionProbeJoinOp -----
+
+FunctionProbeJoinOp::FunctionProbeJoinOp(OpPtr outer,
+                                         const TableFunction* function,
+                                         std::vector<int> outer_arg_indexes,
+                                         ExprPtr residual, bool memoize)
+    : Operator(outer->schema().Concat(
+          function->RelationSchema().WithQualifier(function->name()))),
+      outer_(std::move(outer)),
+      function_(function),
+      outer_arg_indexes_(std::move(outer_arg_indexes)),
+      residual_(std::move(residual)),
+      memoize_(memoize) {
+  MAGICDB_CHECK(static_cast<int>(outer_arg_indexes_.size()) ==
+                function_->arg_schema().num_columns());
+}
+
+Status FunctionProbeJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  memo_.clear();
+  have_outer_ = false;
+  cache_hits_ = 0;
+  result_pos_ = 0;
+  return outer_->Open(ctx);
+}
+
+Status FunctionProbeJoinOp::Next(Tuple* out, bool* eof) {
+  const std::vector<int> arg_identity = Identity(outer_arg_indexes_.size());
+  while (true) {
+    if (!have_outer_) {
+      bool outer_eof = false;
+      MAGICDB_RETURN_IF_ERROR(outer_->Next(&current_outer_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_outer_ = true;
+      Tuple args = ProjectTuple(current_outer_, outer_arg_indexes_);
+      current_results_.clear();
+      result_pos_ = 0;
+
+      const std::vector<Tuple>* cached = nullptr;
+      uint64_t h = 0;
+      if (memoize_) {
+        ctx_->counters().hash_operations += 1;
+        h = HashTupleColumns(args, arg_identity);
+        auto it = memo_.find(h);
+        if (it != memo_.end()) {
+          for (const auto& [key, rows] : it->second) {
+            if (CompareTuples(key, args) == 0) {
+              cached = &rows;
+              break;
+            }
+          }
+        }
+      }
+      if (cached != nullptr) {
+        ++cache_hits_;
+        current_results_ = *cached;
+      } else {
+        ctx_->counters().function_invocations += 1;
+        std::vector<Tuple> results;
+        MAGICDB_RETURN_IF_ERROR(function_->Invoke(args, &results));
+        current_results_.reserve(results.size());
+        for (Tuple& r : results) {
+          current_results_.push_back(ConcatTuples(args, r));
+        }
+        if (memoize_) {
+          memo_[h].emplace_back(std::move(args), current_results_);
+        }
+      }
+    }
+    while (result_pos_ < current_results_.size()) {
+      const Tuple& fn_row = current_results_[result_pos_++];
+      ctx_->counters().tuples_processed += 1;
+      Tuple joined = ConcatTuples(current_outer_, fn_row);
+      if (residual_) {
+        ctx_->counters().exprs_evaluated += 1;
+        if (!EvalPredicate(*residual_, joined)) continue;
+      }
+      *out = std::move(joined);
+      *eof = false;
+      return Status::OK();
+    }
+    have_outer_ = false;
+  }
+}
+
+Status FunctionProbeJoinOp::Close() {
+  memo_.clear();
+  return outer_->Close();
+}
+
+std::string FunctionProbeJoinOp::Describe() const {
+  return "FunctionProbeJoin(" + function_->name() +
+         (memoize_ ? ", memoized" : "") + ")";
+}
+
+// ----- FunctionCallOp -----
+
+FunctionCallOp::FunctionCallOp(OpPtr args_child, const TableFunction* function)
+    : Operator(function->RelationSchema().WithQualifier(function->name())),
+      args_child_(std::move(args_child)),
+      function_(function) {
+  MAGICDB_CHECK(args_child_->schema().num_columns() ==
+                function_->arg_schema().num_columns());
+}
+
+Status FunctionCallOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_rows_.clear();
+  pos_ = 0;
+  child_eof_ = false;
+  return args_child_->Open(ctx);
+}
+
+Status FunctionCallOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    if (pos_ < current_rows_.size()) {
+      ctx_->counters().tuples_processed += 1;
+      *out = current_rows_[pos_++];
+      *eof = false;
+      return Status::OK();
+    }
+    if (child_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    Tuple args;
+    bool eof_child = false;
+    MAGICDB_RETURN_IF_ERROR(args_child_->Next(&args, &eof_child));
+    if (eof_child) {
+      child_eof_ = true;
+      continue;
+    }
+    ctx_->counters().function_invocations += 1;
+    std::vector<Tuple> results;
+    MAGICDB_RETURN_IF_ERROR(function_->Invoke(args, &results));
+    current_rows_.clear();
+    current_rows_.reserve(results.size());
+    for (Tuple& r : results) {
+      current_rows_.push_back(ConcatTuples(args, r));
+    }
+    pos_ = 0;
+  }
+}
+
+Status FunctionCallOp::Close() { return args_child_->Close(); }
+
+std::string FunctionCallOp::Describe() const {
+  return "FunctionCall(" + function_->name() + ")";
+}
+
+}  // namespace magicdb

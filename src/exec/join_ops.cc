@@ -1,0 +1,417 @@
+#include "src/exec/join_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+// ----- NestedLoopsJoinOp -----
+
+NestedLoopsJoinOp::NestedLoopsJoinOp(OpPtr outer, OpPtr inner,
+                                     ExprPtr predicate)
+    : Operator(outer->schema().Concat(inner->schema())),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      predicate_(std::move(predicate)) {}
+
+Status NestedLoopsJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  have_outer_ = false;
+  inner_open_ = false;
+  return outer_->Open(ctx);
+}
+
+Status NestedLoopsJoinOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    if (!have_outer_) {
+      bool outer_eof = false;
+      MAGICDB_RETURN_IF_ERROR(outer_->Next(&current_outer_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_outer_ = true;
+      if (inner_open_) {
+        MAGICDB_RETURN_IF_ERROR(inner_->Close());
+      }
+      MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx_));
+      inner_open_ = true;
+    }
+    Tuple inner_tuple;
+    bool inner_eof = false;
+    MAGICDB_RETURN_IF_ERROR(inner_->Next(&inner_tuple, &inner_eof));
+    if (inner_eof) {
+      have_outer_ = false;
+      continue;
+    }
+    Tuple joined = ConcatTuples(current_outer_, inner_tuple);
+    ctx_->counters().tuples_processed += 1;
+    if (predicate_) {
+      ctx_->counters().exprs_evaluated += 1;
+      if (!EvalPredicate(*predicate_, joined)) continue;
+    }
+    *out = std::move(joined);
+    *eof = false;
+    return Status::OK();
+  }
+}
+
+Status NestedLoopsJoinOp::Close() {
+  if (inner_open_) {
+    MAGICDB_RETURN_IF_ERROR(inner_->Close());
+    inner_open_ = false;
+  }
+  return outer_->Close();
+}
+
+std::string NestedLoopsJoinOp::Describe() const {
+  return "NestedLoopsJoin(" +
+         (predicate_ ? predicate_->ToString() : std::string("true")) + ")";
+}
+
+// ----- IndexNestedLoopsJoinOp -----
+
+IndexNestedLoopsJoinOp::IndexNestedLoopsJoinOp(
+    OpPtr outer, const Table* inner_table, const HashIndex* index,
+    std::vector<int> outer_key_indexes, ExprPtr residual, bool remote_probe,
+    const std::string& inner_alias)
+    : Operator(outer->schema().Concat(
+          inner_alias.empty() ? inner_table->schema()
+                              : inner_table->schema().WithQualifier(
+                                    inner_alias))),
+      outer_(std::move(outer)),
+      inner_table_(inner_table),
+      index_(index),
+      outer_key_indexes_(std::move(outer_key_indexes)),
+      residual_(std::move(residual)),
+      remote_probe_(remote_probe) {
+  MAGICDB_CHECK(index_ != nullptr);
+  MAGICDB_CHECK(index_->columns().size() == outer_key_indexes_.size());
+}
+
+Status IndexNestedLoopsJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  have_outer_ = false;
+  current_matches_.clear();
+  match_pos_ = 0;
+  return outer_->Open(ctx);
+}
+
+Status IndexNestedLoopsJoinOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    if (!have_outer_) {
+      bool outer_eof = false;
+      MAGICDB_RETURN_IF_ERROR(outer_->Next(&current_outer_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_outer_ = true;
+      if (TupleHasNullAt(current_outer_, outer_key_indexes_)) {
+        current_matches_.clear();  // NULL keys never join
+        match_pos_ = 0;
+        continue;
+      }
+      Tuple key = ProjectTuple(current_outer_, outer_key_indexes_);
+      // One probe: a hash operation plus one page to reach the bucket.
+      ctx_->counters().hash_operations += 1;
+      ctx_->counters().pages_read += 1;
+      if (remote_probe_) {
+        // Fetch-matches round trip: request carries the key, response the
+        // matching tuples (charged below per match).
+        ctx_->counters().messages_sent += 2;
+        ctx_->counters().bytes_shipped += TupleByteWidth(key);
+      }
+      current_matches_ = index_->Lookup(key);
+      match_pos_ = 0;
+    }
+    while (match_pos_ < current_matches_.size()) {
+      const Tuple& inner_row =
+          inner_table_->row(current_matches_[match_pos_++]);
+      // Unclustered index: each matching row costs one page fetch.
+      ctx_->counters().pages_read += 1;
+      ctx_->counters().tuples_processed += 1;
+      if (remote_probe_) {
+        ctx_->counters().bytes_shipped += TupleByteWidth(inner_row);
+      }
+      Tuple joined = ConcatTuples(current_outer_, inner_row);
+      if (residual_) {
+        ctx_->counters().exprs_evaluated += 1;
+        if (!EvalPredicate(*residual_, joined)) continue;
+      }
+      *out = std::move(joined);
+      *eof = false;
+      return Status::OK();
+    }
+    have_outer_ = false;
+  }
+}
+
+Status IndexNestedLoopsJoinOp::Close() { return outer_->Close(); }
+
+std::string IndexNestedLoopsJoinOp::Describe() const {
+  return std::string("IndexNestedLoopsJoin(") +
+         (remote_probe_ ? "remote, " : "") + "inner=" + inner_table_->name() +
+         ")";
+}
+
+// ----- HashJoinOp -----
+
+HashJoinOp::HashJoinOp(OpPtr outer, OpPtr inner,
+                       std::vector<int> outer_key_indexes,
+                       std::vector<int> inner_key_indexes, ExprPtr residual)
+    : Operator(outer->schema().Concat(inner->schema())),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_keys_(std::move(outer_key_indexes)),
+      inner_keys_(std::move(inner_key_indexes)),
+      residual_(std::move(residual)) {
+  MAGICDB_CHECK(outer_keys_.size() == inner_keys_.size());
+  MAGICDB_CHECK(!outer_keys_.empty());
+}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  build_.clear();
+  have_outer_ = false;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  spilled_ = false;
+  probe_bytes_pending_ = 0;
+  // Build phase over the inner child.
+  MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
+  int64_t build_bytes = 0;
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
+    if (eof) break;
+    if (TupleHasNullAt(t, inner_keys_)) continue;  // NULL keys never join
+    ctx->counters().hash_operations += 1;
+    build_bytes += TupleByteWidth(t);
+    build_[HashTupleColumns(t, inner_keys_)].push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  // Build side over budget: charge one Grace partitioning pass. The build
+  // input pays now; the probe input pays as it streams (see Next).
+  if (build_bytes > ctx->memory_budget_bytes()) {
+    spilled_ = true;
+    const int64_t build_pages =
+        (build_bytes + CostConstants::kPageSizeBytes - 1) /
+        CostConstants::kPageSizeBytes;
+    ctx->counters().pages_written += build_pages;
+    ctx->counters().pages_read += build_pages;
+  }
+  return outer_->Open(ctx);
+}
+
+Status HashJoinOp::Next(Tuple* out, bool* eof) {
+  while (true) {
+    if (!have_outer_) {
+      bool outer_eof = false;
+      MAGICDB_RETURN_IF_ERROR(outer_->Next(&current_outer_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_outer_ = true;
+      if (spilled_) {
+        probe_bytes_pending_ += TupleByteWidth(current_outer_);
+        while (probe_bytes_pending_ >= CostConstants::kPageSizeBytes) {
+          probe_bytes_pending_ -= CostConstants::kPageSizeBytes;
+          ctx_->counters().pages_written += 1;
+          ctx_->counters().pages_read += 1;
+        }
+      }
+      if (TupleHasNullAt(current_outer_, outer_keys_)) {
+        current_bucket_ = nullptr;  // NULL keys never join
+        bucket_pos_ = 0;
+        continue;
+      }
+      ctx_->counters().hash_operations += 1;
+      auto it = build_.find(HashTupleColumns(current_outer_, outer_keys_));
+      current_bucket_ = it == build_.end() ? nullptr : &it->second;
+      bucket_pos_ = 0;
+    }
+    while (current_bucket_ != nullptr &&
+           bucket_pos_ < current_bucket_->size()) {
+      const Tuple& inner_row = (*current_bucket_)[bucket_pos_++];
+      // Verify key equality (hash collisions).
+      if (CompareTupleColumns(current_outer_, inner_row, outer_keys_,
+                              inner_keys_) != 0) {
+        continue;
+      }
+      ctx_->counters().tuples_processed += 1;
+      Tuple joined = ConcatTuples(current_outer_, inner_row);
+      if (residual_) {
+        ctx_->counters().exprs_evaluated += 1;
+        if (!EvalPredicate(*residual_, joined)) continue;
+      }
+      *out = std::move(joined);
+      *eof = false;
+      return Status::OK();
+    }
+    have_outer_ = false;
+  }
+}
+
+Status HashJoinOp::Close() {
+  build_.clear();
+  return outer_->Close();
+}
+
+std::string HashJoinOp::Describe() const {
+  std::string s = "HashJoin(keys=[";
+  for (size_t i = 0; i < outer_keys_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(outer_keys_[i]);
+  }
+  s += "]=[";
+  for (size_t i = 0; i < inner_keys_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(inner_keys_[i]);
+  }
+  s += "]";
+  if (residual_) s += ", residual=" + residual_->ToString();
+  return s + ")";
+}
+
+// ----- SortMergeJoinOp -----
+
+SortMergeJoinOp::SortMergeJoinOp(OpPtr outer, OpPtr inner,
+                                 std::vector<int> outer_key_indexes,
+                                 std::vector<int> inner_key_indexes,
+                                 ExprPtr residual, bool outer_presorted)
+    : Operator(outer->schema().Concat(inner->schema())),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_keys_(std::move(outer_key_indexes)),
+      inner_keys_(std::move(inner_key_indexes)),
+      residual_(std::move(residual)),
+      outer_presorted_(outer_presorted) {
+  MAGICDB_CHECK(outer_keys_.size() == inner_keys_.size());
+  MAGICDB_CHECK(!outer_keys_.empty());
+}
+
+Status SortMergeJoinOp::DrainSorted(Operator* child,
+                                    const std::vector<int>& keys,
+                                    ExecContext* ctx, std::vector<Tuple>* out,
+                                    bool presorted) {
+  MAGICDB_RETURN_IF_ERROR(child->Open(ctx));
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(child->Next(&t, &eof));
+    if (eof) break;
+    if (TupleHasNullAt(t, keys)) continue;  // NULL keys never join
+    out->push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(child->Close());
+  if (presorted) {
+    // Trust but verify: a misdeclared order is a planner bug.
+    for (size_t i = 1; i < out->size(); ++i) {
+      MAGICDB_CHECK(CompareTupleColumns((*out)[i - 1], (*out)[i], keys,
+                                        keys) <= 0);
+    }
+    return Status::OK();
+  }
+  const int64_t n = static_cast<int64_t>(out->size());
+  std::sort(out->begin(), out->end(), [&](const Tuple& a, const Tuple& b) {
+    return CompareTupleColumns(a, b, keys, keys) < 0;
+  });
+  if (n > 1) {
+    ctx->counters().exprs_evaluated +=
+        static_cast<int64_t>(static_cast<double>(n) *
+                             std::ceil(std::log2(static_cast<double>(n))));
+  }
+  return Status::OK();
+}
+
+void SortMergeJoinOp::AdvanceGroups() {
+  // Advances li_/ri_ to the next pair of groups with equal keys and sets
+  // group boundaries; sets in_group_ accordingly.
+  while (li_ < left_.size() && ri_ < right_.size()) {
+    const int c = CompareTupleColumns(left_[li_], right_[ri_], outer_keys_,
+                                      inner_keys_);
+    if (c < 0) {
+      ++li_;
+    } else if (c > 0) {
+      ++ri_;
+    } else {
+      lg_end_ = li_ + 1;
+      while (lg_end_ < left_.size() &&
+             CompareTupleColumns(left_[lg_end_], left_[li_], outer_keys_,
+                                 outer_keys_) == 0) {
+        ++lg_end_;
+      }
+      rg_end_ = ri_ + 1;
+      while (rg_end_ < right_.size() &&
+             CompareTupleColumns(right_[rg_end_], right_[ri_], inner_keys_,
+                                 inner_keys_) == 0) {
+        ++rg_end_;
+      }
+      lpos_ = li_;
+      rpos_ = ri_;
+      in_group_ = true;
+      return;
+    }
+  }
+  in_group_ = false;
+}
+
+Status SortMergeJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  left_.clear();
+  right_.clear();
+  li_ = ri_ = lg_end_ = rg_end_ = lpos_ = rpos_ = 0;
+  in_group_ = false;
+  MAGICDB_RETURN_IF_ERROR(DrainSorted(outer_.get(), outer_keys_, ctx, &left_,
+                                      outer_presorted_));
+  MAGICDB_RETURN_IF_ERROR(
+      DrainSorted(inner_.get(), inner_keys_, ctx, &right_, false));
+  AdvanceGroups();
+  return Status::OK();
+}
+
+Status SortMergeJoinOp::Next(Tuple* out, bool* eof) {
+  while (in_group_) {
+    if (rpos_ >= rg_end_) {
+      rpos_ = ri_;
+      ++lpos_;
+    }
+    if (lpos_ >= lg_end_) {
+      li_ = lg_end_;
+      ri_ = rg_end_;
+      AdvanceGroups();
+      continue;
+    }
+    const Tuple& l = left_[lpos_];
+    const Tuple& r = right_[rpos_++];
+    ctx_->counters().tuples_processed += 1;
+    Tuple joined = ConcatTuples(l, r);
+    if (residual_) {
+      ctx_->counters().exprs_evaluated += 1;
+      if (!EvalPredicate(*residual_, joined)) continue;
+    }
+    *out = std::move(joined);
+    *eof = false;
+    return Status::OK();
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+Status SortMergeJoinOp::Close() {
+  left_.clear();
+  right_.clear();
+  return Status::OK();
+}
+
+std::string SortMergeJoinOp::Describe() const {
+  return "SortMergeJoin(keys=" + std::to_string(outer_keys_.size()) +
+         (outer_presorted_ ? ", outer presorted" : "") + ")";
+}
+
+}  // namespace magicdb

@@ -1,0 +1,154 @@
+#ifndef MAGICDB_EXEC_JOIN_OPS_H_
+#define MAGICDB_EXEC_JOIN_OPS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/operator.h"
+#include "src/expr/expr.h"
+#include "src/storage/index.h"
+#include "src/storage/table.h"
+
+namespace magicdb {
+
+/// Tuple-at-a-time nested loops: for each outer tuple the inner child is
+/// re-opened and rescanned. Works for arbitrary predicates (including
+/// non-equijoins such as E.sal > V.avgsal). Output schema is
+/// outer ++ inner.
+class NestedLoopsJoinOp final : public Operator {
+ public:
+  /// `predicate` is over the concatenated schema; may be null (cross
+  /// product).
+  NestedLoopsJoinOp(OpPtr outer, OpPtr inner, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ private:
+  OpPtr outer_;
+  OpPtr inner_;
+  ExprPtr predicate_;
+  ExecContext* ctx_ = nullptr;
+  Tuple current_outer_;
+  bool have_outer_ = false;
+  bool inner_open_ = false;
+};
+
+/// Index nested loops: probes a stored table's index once per outer tuple.
+/// Models the classic repeated-probe strategy; with `remote_probe` set, each
+/// probe additionally pays a message round trip (System R* "fetch matches").
+class IndexNestedLoopsJoinOp final : public Operator {
+ public:
+  /// `index` must belong to `inner_table` and cover exactly the columns the
+  /// probe key binds. `outer_key_indexes` selects the probe key from the
+  /// outer tuple. `residual` (may be null) is evaluated over outer ++ inner.
+  IndexNestedLoopsJoinOp(OpPtr outer, const Table* inner_table,
+                         const HashIndex* index,
+                         std::vector<int> outer_key_indexes, ExprPtr residual,
+                         bool remote_probe = false,
+                         const std::string& inner_alias = "");
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {outer_.get()};
+  }
+
+ private:
+  OpPtr outer_;
+  const Table* inner_table_;
+  const HashIndex* index_;
+  std::vector<int> outer_key_indexes_;
+  ExprPtr residual_;
+  bool remote_probe_;
+  ExecContext* ctx_ = nullptr;
+  Tuple current_outer_;
+  std::vector<int64_t> current_matches_;
+  size_t match_pos_ = 0;
+  bool have_outer_ = false;
+};
+
+/// Classic in-memory hash join on equality keys. Build side is the inner
+/// (right) child. `residual` (may be null) filters over outer ++ inner.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OpPtr outer, OpPtr inner, std::vector<int> outer_key_indexes,
+             std::vector<int> inner_key_indexes, ExprPtr residual);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ private:
+  OpPtr outer_;
+  OpPtr inner_;
+  std::vector<int> outer_keys_;
+  std::vector<int> inner_keys_;
+  ExprPtr residual_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_map<uint64_t, std::vector<Tuple>> build_;
+  Tuple current_outer_;
+  const std::vector<Tuple>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  bool have_outer_ = false;
+  // Grace partitioning accounting: when the build side exceeds the memory
+  // budget, both inputs pay one write+read partitioning pass.
+  bool spilled_ = false;
+  int64_t probe_bytes_pending_ = 0;
+};
+
+/// Sort-merge join on equality keys. Both inputs are drained, sorted by
+/// their keys, and merged; duplicate key groups produce the cross product.
+/// With `outer_presorted` the outer is trusted to arrive sorted on its key
+/// columns (an "interesting order" from a previous sort-merge join) and is
+/// only drained, not re-sorted.
+class SortMergeJoinOp final : public Operator {
+ public:
+  SortMergeJoinOp(OpPtr outer, OpPtr inner, std::vector<int> outer_key_indexes,
+                  std::vector<int> inner_key_indexes, ExprPtr residual,
+                  bool outer_presorted = false);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ private:
+  Status DrainSorted(Operator* child, const std::vector<int>& keys,
+                     ExecContext* ctx, std::vector<Tuple>* out,
+                     bool presorted);
+  void AdvanceGroups();
+
+  OpPtr outer_;
+  OpPtr inner_;
+  std::vector<int> outer_keys_;
+  std::vector<int> inner_keys_;
+  ExprPtr residual_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Tuple> left_;
+  std::vector<Tuple> right_;
+  size_t li_ = 0, ri_ = 0;        // current group starts
+  size_t lg_end_ = 0, rg_end_ = 0;  // current group ends (exclusive)
+  size_t lpos_ = 0, rpos_ = 0;      // cursor within the group cross product
+  bool in_group_ = false;
+  bool outer_presorted_ = false;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_JOIN_OPS_H_

@@ -1,0 +1,38 @@
+#include "src/exec/operator.h"
+
+#include <sstream>
+
+namespace magicdb {
+
+namespace {
+void AppendTree(const Operator& op, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << op.Describe() << "\n";
+  for (const Operator* c : op.Children()) {
+    AppendTree(*c, depth + 1, os);
+  }
+}
+}  // namespace
+
+std::string Operator::TreeString() const {
+  std::ostringstream os;
+  AppendTree(*this, 0, &os);
+  return os.str();
+}
+
+StatusOr<std::vector<Tuple>> ExecuteToVector(Operator* root,
+                                             ExecContext* ctx) {
+  MAGICDB_RETURN_IF_ERROR(root->Open(ctx));
+  std::vector<Tuple> rows;
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
+    if (eof) break;
+    rows.push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(root->Close());
+  return rows;
+}
+
+}  // namespace magicdb

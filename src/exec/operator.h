@@ -1,0 +1,61 @@
+#ifndef MAGICDB_EXEC_OPERATOR_H_
+#define MAGICDB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/exec/exec_context.h"
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+
+namespace magicdb {
+
+/// Volcano-style physical operator. Lifecycle:
+///
+///   Open(ctx) -> Next()* -> Close()
+///
+/// Open resets the operator so a parent (e.g. nested-loops join) can rescan
+/// by re-opening. Operators charge the work they perform to
+/// ctx->counters(), in the same units the optimizer's cost model predicts.
+class Operator {
+ public:
+  explicit Operator(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Prepares (or re-prepares) the operator for a scan.
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next tuple. Sets *eof=true (and leaves *out untouched) at
+  /// end of stream.
+  virtual Status Next(Tuple* out, bool* eof) = 0;
+
+  virtual Status Close() = 0;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Operator name with its key parameters, e.g. "HashJoin(keys=[0]=[1])".
+  virtual std::string Describe() const = 0;
+
+  /// Children for tree printing (non-owning views).
+  virtual std::vector<const Operator*> Children() const { return {}; }
+
+  /// Indented physical-plan rendering rooted at this operator.
+  std::string TreeString() const;
+
+ protected:
+  Schema schema_;
+};
+
+using OpPtr = std::unique_ptr<Operator>;
+
+/// Runs `root` to completion under `ctx` and returns all produced tuples.
+StatusOr<std::vector<Tuple>> ExecuteToVector(Operator* root, ExecContext* ctx);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_OPERATOR_H_

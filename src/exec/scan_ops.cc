@@ -1,0 +1,145 @@
+#include "src/exec/scan_ops.h"
+
+namespace magicdb {
+
+SeqScanOp::SeqScanOp(const Table* table, const std::string& alias)
+    : Operator(alias.empty() ? table->schema()
+                             : table->schema().WithQualifier(alias)),
+      table_(table) {}
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_row_ = 0;
+  rows_per_page_ = RowsPerPage(table_->schema().TupleWidthBytes());
+  return Status::OK();
+}
+
+Status SeqScanOp::Next(Tuple* out, bool* eof) {
+  if (next_row_ >= table_->NumRows()) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (next_row_ % rows_per_page_ == 0) {
+    ctx_->counters().pages_read += 1;
+  }
+  ctx_->counters().tuples_processed += 1;
+  *out = table_->row(next_row_++);
+  *eof = false;
+  return Status::OK();
+}
+
+Status SeqScanOp::Close() { return Status::OK(); }
+
+std::string SeqScanOp::Describe() const {
+  return "SeqScan(" + table_->name() + ", rows=" +
+         std::to_string(table_->NumRows()) + ")";
+}
+
+OrderedIndexScanOp::OrderedIndexScanOp(const Table* table,
+                                       const OrderedIndex* index,
+                                       const std::string& alias)
+    : Operator(alias.empty() ? table->schema()
+                             : table->schema().WithQualifier(alias)),
+      table_(table),
+      index_(index) {}
+
+Status OrderedIndexScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_ = 0;
+  rows_per_page_ = RowsPerPage(table_->schema().TupleWidthBytes());
+  row_order_ = index_->Range({}, {});
+  ctx->counters().pages_read += index_->ModelledHeight();
+  return Status::OK();
+}
+
+Status OrderedIndexScanOp::Next(Tuple* out, bool* eof) {
+  if (next_ >= static_cast<int64_t>(row_order_.size())) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (next_ % rows_per_page_ == 0) {
+    ctx_->counters().pages_read += 1;
+  }
+  ctx_->counters().tuples_processed += 1;
+  *out = table_->row(row_order_[next_++]);
+  *eof = false;
+  return Status::OK();
+}
+
+Status OrderedIndexScanOp::Close() {
+  row_order_.clear();
+  return Status::OK();
+}
+
+std::string OrderedIndexScanOp::Describe() const {
+  return "OrderedIndexScan(" + table_->name() + ")";
+}
+
+FilterSetScanOp::FilterSetScanOp(std::string binding_id, Schema schema)
+    : Operator(std::move(schema)), binding_id_(std::move(binding_id)) {}
+
+Status FilterSetScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_row_ = 0;
+  MAGICDB_ASSIGN_OR_RETURN(binding_, ctx->GetFilterSet(binding_id_));
+  if (binding_->is_bloom()) {
+    return Status::Internal(
+        "filter set " + binding_id_ +
+        " is a Bloom filter and cannot be scanned as a relation");
+  }
+  rows_per_page_ = RowsPerPage(schema_.TupleWidthBytes());
+  return Status::OK();
+}
+
+Status FilterSetScanOp::Next(Tuple* out, bool* eof) {
+  if (next_row_ >= binding_->NumKeys()) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (next_row_ % rows_per_page_ == 0) {
+    ctx_->counters().pages_read += 1;
+  }
+  ctx_->counters().tuples_processed += 1;
+  *out = binding_->keys()[next_row_++];
+  *eof = false;
+  return Status::OK();
+}
+
+Status FilterSetScanOp::Close() { return Status::OK(); }
+
+std::string FilterSetScanOp::Describe() const {
+  return "FilterSetScan(" + binding_id_ + ")";
+}
+
+VectorScanOp::VectorScanOp(const std::vector<Tuple>* rows, Schema schema,
+                           bool charge_pages)
+    : Operator(std::move(schema)), rows_(rows), charge_pages_(charge_pages) {}
+
+Status VectorScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_row_ = 0;
+  rows_per_page_ = RowsPerPage(schema_.TupleWidthBytes());
+  return Status::OK();
+}
+
+Status VectorScanOp::Next(Tuple* out, bool* eof) {
+  if (next_row_ >= static_cast<int64_t>(rows_->size())) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (charge_pages_ && next_row_ % rows_per_page_ == 0) {
+    ctx_->counters().pages_read += 1;
+  }
+  ctx_->counters().tuples_processed += 1;
+  *out = (*rows_)[next_row_++];
+  *eof = false;
+  return Status::OK();
+}
+
+Status VectorScanOp::Close() { return Status::OK(); }
+
+std::string VectorScanOp::Describe() const {
+  return "VectorScan(rows=" + std::to_string(rows_->size()) + ")";
+}
+
+}  // namespace magicdb

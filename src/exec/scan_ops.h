@@ -1,0 +1,99 @@
+#ifndef MAGICDB_EXEC_SCAN_OPS_H_
+#define MAGICDB_EXEC_SCAN_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/operator.h"
+#include "src/storage/table.h"
+
+namespace magicdb {
+
+/// Full scan of a stored table. Charges one page read per page boundary
+/// crossed plus CPU per tuple. The table's schema may be re-qualified with
+/// an alias ("Emp E").
+class SeqScanOp final : public Operator {
+ public:
+  /// `alias` empty keeps the table's own qualifier.
+  SeqScanOp(const Table* table, const std::string& alias = "");
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  ExecContext* ctx_ = nullptr;
+  int64_t next_row_ = 0;
+  int64_t rows_per_page_ = 1;
+};
+
+/// Scans a stored table in the key order of one of its ordered indexes —
+/// an access path that *provides* an interesting order (a downstream
+/// sort-merge join can skip its sort). Charged like a clustered index
+/// traversal: the tree height at open plus the table's pages.
+class OrderedIndexScanOp final : public Operator {
+ public:
+  OrderedIndexScanOp(const Table* table, const OrderedIndex* index,
+                     const std::string& alias = "");
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  const OrderedIndex* index_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<int64_t> row_order_;
+  int64_t next_ = 0;
+  int64_t rows_per_page_ = 1;
+};
+
+/// Scans the distinct key tuples of a bound (exact) filter set — the
+/// "Filter" relation in the magic rewrite of Figure 2. Bloom bindings
+/// cannot be scanned; Open fails for them.
+class FilterSetScanOp final : public Operator {
+ public:
+  FilterSetScanOp(std::string binding_id, Schema schema);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  std::string binding_id_;
+  ExecContext* ctx_ = nullptr;
+  std::shared_ptr<FilterSetBinding> binding_;
+  int64_t next_row_ = 0;
+  int64_t rows_per_page_ = 1;
+};
+
+/// Scans an in-memory vector of tuples (used for pre-materialized inputs in
+/// tests and as the production-set scan inside FilterJoinOp). Charges page
+/// reads like a spooled temporary.
+class VectorScanOp final : public Operator {
+ public:
+  /// Does not own `rows`; caller keeps them alive across the scan.
+  VectorScanOp(const std::vector<Tuple>* rows, Schema schema,
+               bool charge_pages = true);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  const std::vector<Tuple>* rows_;
+  bool charge_pages_;
+  ExecContext* ctx_ = nullptr;
+  int64_t next_row_ = 0;
+  int64_t rows_per_page_ = 1;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_SCAN_OPS_H_

@@ -1,0 +1,315 @@
+#include "src/expr/expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+void Expr::CollectColumnRefs(std::vector<int>* out) const {
+  CollectColumnRefsInternal(out);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+// ----- LiteralExpr -----
+
+StatusOr<Value> LiteralExpr::Eval(const Tuple&) const { return value_; }
+
+ExprPtr LiteralExpr::RemapColumns(const std::vector<int>&) const {
+  return std::make_shared<LiteralExpr>(value_);
+}
+
+void LiteralExpr::CollectColumnRefsInternal(std::vector<int>*) const {}
+
+// ----- ColumnRefExpr -----
+
+StatusOr<Value> ColumnRefExpr::Eval(const Tuple& row) const {
+  if (index_ < 0 || index_ >= static_cast<int>(row.size())) {
+    return Status::Internal("column index " + std::to_string(index_) +
+                            " out of range for tuple of arity " +
+                            std::to_string(row.size()));
+  }
+  return row[index_];
+}
+
+ExprPtr ColumnRefExpr::RemapColumns(const std::vector<int>& mapping) const {
+  MAGICDB_CHECK(index_ >= 0 && index_ < static_cast<int>(mapping.size()));
+  MAGICDB_CHECK(mapping[index_] >= 0);
+  return std::make_shared<ColumnRefExpr>(mapping[index_], type_, name_);
+}
+
+void ColumnRefExpr::CollectColumnRefsInternal(std::vector<int>* out) const {
+  out->push_back(index_);
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (!name_.empty()) return name_;
+  return "$" + std::to_string(index_);
+}
+
+// ----- ComparisonExpr -----
+
+StatusOr<Value> ComparisonExpr::Eval(const Tuple& row) const {
+  MAGICDB_ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+  MAGICDB_ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+  if (lv.is_null() || rv.is_null()) return Value::Null();
+  const int c = lv.Compare(rv);
+  switch (op_) {
+    case CompareOp::kEq:
+      return Value::Bool(c == 0);
+    case CompareOp::kNe:
+      return Value::Bool(c != 0);
+    case CompareOp::kLt:
+      return Value::Bool(c < 0);
+    case CompareOp::kLe:
+      return Value::Bool(c <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(c > 0);
+    case CompareOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+ExprPtr ComparisonExpr::RemapColumns(const std::vector<int>& mapping) const {
+  return std::make_shared<ComparisonExpr>(op_, left_->RemapColumns(mapping),
+                                          right_->RemapColumns(mapping));
+}
+
+void ComparisonExpr::CollectColumnRefsInternal(std::vector<int>* out) const {
+  left_->CollectColumnRefs(out);
+  std::vector<int> rhs;
+  right_->CollectColumnRefs(&rhs);
+  out->insert(out->end(), rhs.begin(), rhs.end());
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CompareOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// ----- ArithmeticExpr -----
+
+DataType ArithmeticExpr::result_type() const {
+  if (left_->result_type() == DataType::kDouble ||
+      right_->result_type() == DataType::kDouble ||
+      op_ == ArithOp::kDiv) {
+    return DataType::kDouble;
+  }
+  return DataType::kInt64;
+}
+
+StatusOr<Value> ArithmeticExpr::Eval(const Tuple& row) const {
+  MAGICDB_ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+  MAGICDB_ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+  if (lv.is_null() || rv.is_null()) return Value::Null();
+  // Exact integer arithmetic when both sides are int64 (except division).
+  if (lv.type() == DataType::kInt64 && rv.type() == DataType::kInt64 &&
+      op_ != ArithOp::kDiv) {
+    const int64_t a = lv.AsInt64();
+    const int64_t b = rv.AsInt64();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Int64(a + b);
+      case ArithOp::kSub:
+        return Value::Int64(a - b);
+      case ArithOp::kMul:
+        return Value::Int64(a * b);
+      default:
+        break;
+    }
+  }
+  MAGICDB_ASSIGN_OR_RETURN(double a, lv.AsNumeric());
+  MAGICDB_ASSIGN_OR_RETURN(double b, rv.AsNumeric());
+  switch (op_) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+  }
+  return Status::Internal("bad arith op");
+}
+
+ExprPtr ArithmeticExpr::RemapColumns(const std::vector<int>& mapping) const {
+  return std::make_shared<ArithmeticExpr>(op_, left_->RemapColumns(mapping),
+                                          right_->RemapColumns(mapping));
+}
+
+void ArithmeticExpr::CollectColumnRefsInternal(std::vector<int>* out) const {
+  left_->CollectColumnRefs(out);
+  std::vector<int> rhs;
+  right_->CollectColumnRefs(&rhs);
+  out->insert(out->end(), rhs.begin(), rhs.end());
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ArithOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// ----- LogicalExpr -----
+
+StatusOr<Value> LogicalExpr::Eval(const Tuple& row) const {
+  if (op_ == LogicalOp::kNot) {
+    MAGICDB_ASSIGN_OR_RETURN(Value v, left_->Eval(row));
+    if (v.is_null()) return Value::Null();
+    if (v.type() != DataType::kBool) {
+      return Status::TypeError("NOT over non-boolean: " + v.ToString());
+    }
+    return Value::Bool(!v.AsBool());
+  }
+  // Kleene three-valued AND/OR.
+  MAGICDB_ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+  MAGICDB_ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+  auto as_tri = [](const Value& v) -> StatusOr<int> {
+    if (v.is_null()) return 2;  // unknown
+    if (v.type() != DataType::kBool) {
+      return Status::TypeError("logical op over non-boolean: " + v.ToString());
+    }
+    return v.AsBool() ? 1 : 0;
+  };
+  MAGICDB_ASSIGN_OR_RETURN(int a, as_tri(lv));
+  MAGICDB_ASSIGN_OR_RETURN(int b, as_tri(rv));
+  if (op_ == LogicalOp::kAnd) {
+    if (a == 0 || b == 0) return Value::Bool(false);
+    if (a == 2 || b == 2) return Value::Null();
+    return Value::Bool(true);
+  }
+  // OR
+  if (a == 1 || b == 1) return Value::Bool(true);
+  if (a == 2 || b == 2) return Value::Null();
+  return Value::Bool(false);
+}
+
+ExprPtr LogicalExpr::RemapColumns(const std::vector<int>& mapping) const {
+  return std::make_shared<LogicalExpr>(
+      op_, left_->RemapColumns(mapping),
+      right_ ? right_->RemapColumns(mapping) : nullptr);
+}
+
+void LogicalExpr::CollectColumnRefsInternal(std::vector<int>* out) const {
+  left_->CollectColumnRefs(out);
+  if (right_) {
+    std::vector<int> rhs;
+    right_->CollectColumnRefs(&rhs);
+    out->insert(out->end(), rhs.begin(), rhs.end());
+  }
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op_ == LogicalOp::kNot) return "NOT " + left_->ToString();
+  return "(" + left_->ToString() +
+         (op_ == LogicalOp::kAnd ? " AND " : " OR ") + right_->ToString() +
+         ")";
+}
+
+// ----- Factories -----
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeColumnRef(int index, DataType type, std::string name) {
+  return std::make_shared<ColumnRefExpr>(index, type, std::move(name));
+}
+
+StatusOr<ExprPtr> MakeColumnRef(const Schema& schema,
+                                const std::string& dotted_name) {
+  MAGICDB_ASSIGN_OR_RETURN(int idx, schema.FindColumn(dotted_name));
+  return MakeColumnRef(idx, schema.column(idx).type,
+                       schema.column(idx).QualifiedName());
+}
+
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ComparisonExpr>(op, std::move(left),
+                                          std::move(right));
+}
+
+ExprPtr MakeArithmetic(ArithOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ArithmeticExpr>(op, std::move(left),
+                                          std::move(right));
+}
+
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(left),
+                                       std::move(right));
+}
+
+ExprPtr MakeOr(ExprPtr left, ExprPtr right) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(left),
+                                       std::move(right));
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kNot, std::move(operand),
+                                       nullptr);
+}
+
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr result;
+  for (const ExprPtr& c : conjuncts) {
+    if (!c) continue;
+    result = result ? MakeAnd(result, c) : c;
+  }
+  return result;
+}
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (!expr) return;
+  if (expr->kind() == ExprKind::kLogical) {
+    const auto* logical = static_cast<const LogicalExpr*>(expr.get());
+    if (logical->op() == LogicalOp::kAnd) {
+      SplitConjuncts(logical->left(), out);
+      SplitConjuncts(logical->right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+bool EvalPredicate(const Expr& expr, const Tuple& row) {
+  StatusOr<Value> v = expr.Eval(row);
+  if (!v.ok() || v->is_null()) return false;
+  return v->type() == DataType::kBool && v->AsBool();
+}
+
+}  // namespace magicdb

@@ -1,0 +1,225 @@
+#ifndef MAGICDB_EXPR_EXPR_H_
+#define MAGICDB_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+#include "src/types/value.h"
+
+namespace magicdb {
+
+class Expr;
+/// Expressions are immutable and shared between plan alternatives; the
+/// optimizer copies plans freely without deep-copying expression trees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kArithmetic,
+  kLogical,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class LogicalOp { kAnd, kOr, kNot };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+
+/// Scalar expression over a positional tuple layout. Column references are
+/// resolved indexes; the SQL binder produces resolved trees.
+///
+/// Evaluation follows SQL three-valued logic: comparisons and arithmetic
+/// over NULL yield NULL; AND/OR use Kleene logic. Predicates treat a NULL
+/// result as false.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Result type given that column refs were resolved against a schema at
+  /// construction time.
+  virtual DataType result_type() const = 0;
+
+  /// Evaluates against `row`. Errors on type mismatches the binder missed
+  /// (e.g. '+' over strings) and on division by zero.
+  virtual StatusOr<Value> Eval(const Tuple& row) const = 0;
+
+  /// Number of nodes in this tree (used to charge CPU per evaluation).
+  virtual int NodeCount() const = 0;
+
+  /// Collects the distinct column indexes referenced by this tree.
+  void CollectColumnRefs(std::vector<int>* out) const;
+
+  /// Returns an equivalent tree with every column index `i` replaced by
+  /// `mapping[i]`. Every referenced index must be mapped (>= 0).
+  virtual ExprPtr RemapColumns(const std::vector<int>& mapping) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  virtual void CollectColumnRefsInternal(std::vector<int>* out) const = 0;
+
+  ExprKind kind_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+  DataType result_type() const override { return value_.type(); }
+  StatusOr<Value> Eval(const Tuple& row) const override;
+  int NodeCount() const override { return 1; }
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  void CollectColumnRefsInternal(std::vector<int>* out) const override;
+
+  Value value_;
+};
+
+class ColumnRefExpr final : public Expr {
+ public:
+  /// `index` is positional in the input tuple; `name` is for display only.
+  ColumnRefExpr(int index, DataType type, std::string name)
+      : Expr(ExprKind::kColumnRef),
+        index_(index),
+        type_(type),
+        name_(std::move(name)) {}
+
+  int index() const { return index_; }
+  const std::string& name() const { return name_; }
+  DataType result_type() const override { return type_; }
+  StatusOr<Value> Eval(const Tuple& row) const override;
+  int NodeCount() const override { return 1; }
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
+  std::string ToString() const override;
+
+ private:
+  void CollectColumnRefsInternal(std::vector<int>* out) const override;
+
+  int index_;
+  DataType type_;
+  std::string name_;
+};
+
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kComparison),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  DataType result_type() const override { return DataType::kBool; }
+  StatusOr<Value> Eval(const Tuple& row) const override;
+  int NodeCount() const override {
+    return 1 + left_->NodeCount() + right_->NodeCount();
+  }
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
+  std::string ToString() const override;
+
+ private:
+  void CollectColumnRefsInternal(std::vector<int>* out) const override;
+
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kArithmetic),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  ArithOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  DataType result_type() const override;
+  StatusOr<Value> Eval(const Tuple& row) const override;
+  int NodeCount() const override {
+    return 1 + left_->NodeCount() + right_->NodeCount();
+  }
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
+  std::string ToString() const override;
+
+ private:
+  void CollectColumnRefsInternal(std::vector<int>* out) const override;
+
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class LogicalExpr final : public Expr {
+ public:
+  /// For kNot, `right` is null.
+  LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kLogical),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  LogicalOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  DataType result_type() const override { return DataType::kBool; }
+  StatusOr<Value> Eval(const Tuple& row) const override;
+  int NodeCount() const override {
+    return 1 + left_->NodeCount() + (right_ ? right_->NodeCount() : 0);
+  }
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
+  std::string ToString() const override;
+
+ private:
+  void CollectColumnRefsInternal(std::vector<int>* out) const override;
+
+  LogicalOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// ----- Factory helpers -----
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(int index, DataType type, std::string name = "");
+/// Column ref resolved against `schema` by dotted name; errors if missing.
+StatusOr<ExprPtr> MakeColumnRef(const Schema& schema,
+                                const std::string& dotted_name);
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeArithmetic(ArithOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right);
+ExprPtr MakeOr(ExprPtr left, ExprPtr right);
+ExprPtr MakeNot(ExprPtr operand);
+
+/// AND-combines `conjuncts`; returns nullptr for an empty list.
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts);
+
+/// Splits an expression into top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Evaluates `expr` as a predicate: NULL and errors count as false.
+bool EvalPredicate(const Expr& expr, const Tuple& row);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXPR_EXPR_H_

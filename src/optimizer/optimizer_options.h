@@ -1,0 +1,85 @@
+#ifndef MAGICDB_OPTIMIZER_OPTIMIZER_OPTIONS_H_
+#define MAGICDB_OPTIMIZER_OPTIMIZER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace magicdb {
+
+/// Controls which plan space the optimizer explores. The defaults implement
+/// the paper's proposal: Filter Join considered as a join method under
+/// Limitations 1-3, with cost-based selection. The other settings exist for
+/// the ablation and baseline experiments (DESIGN.md E7, E11, E12).
+struct OptimizerOptions {
+  /// How magic sets / Filter Joins participate in planning.
+  enum class MagicMode {
+    /// The paper's contribution: Filter Join costed against every other
+    /// join method inside the DP.
+    kCostBased,
+    /// Baseline: never consider Filter Joins (a classic System R).
+    kNever,
+    /// Baseline (Starburst-style heuristic): plan without Filter Joins,
+    /// then force the most restrictive Filter Join onto every virtual
+    /// inner in the resulting order, and keep the cheaper of the two
+    /// complete plans.
+    kAlwaysOnVirtual,
+  };
+
+  MagicMode magic_mode = MagicMode::kCostBased;
+
+  /// Consider Filter Joins for plain stored local tables too (§5.3 "local
+  /// semi-join"). Virtual relations are always eligible in kCostBased mode.
+  bool filter_join_on_stored = true;
+
+  /// Limitation 3: which filter-set implementations are considered.
+  bool consider_exact_filter_sets = true;
+  bool consider_bloom_filter_sets = true;
+  double bloom_bits_per_key = 10.0;
+  /// Additionally try single-attribute filter sets on multi-attribute
+  /// joins (§2.1's partial SIPS / §3.3's lossy-by-omission variant). Adds
+  /// a small constant factor per Filter Join costing.
+  bool consider_partial_key_filter_sets = false;
+
+  /// Limitation 2 ablation: when true, every prefix of the outer plan is
+  /// tried as the production set (costing becomes O(N) more expensive but
+  /// can find cheaper filter sets). When false (the paper's default), the
+  /// production set is the full outer relation.
+  bool explore_prefix_production_sets = false;
+
+  /// §4.2 performance knob: number of equivalence classes used when
+  /// estimating the cost/cardinality of a restricted virtual inner. More
+  /// classes = more nested optimizer invocations but tighter estimates.
+  int equivalence_classes = 4;
+
+  /// Join methods considered.
+  bool enable_nested_loops = true;
+  bool enable_index_nested_loops = true;
+  bool enable_hash_join = true;
+  bool enable_sort_merge = true;
+  /// Memoized table-function invocation ("function caching" in Figure 6).
+  bool enable_function_memo = true;
+
+  /// Keep sort-order-distinct candidates per DP subset (System R
+  /// "interesting orders"). Off = one best plan per subset.
+  bool interesting_orders = true;
+
+  /// Memory the executor will have (affects sort costing).
+  int64_t memory_budget_bytes = 4 * 1024 * 1024;
+};
+
+/// Work counters the optimizer accumulates during one Optimize() call;
+/// experiments E5/E7 read these to measure optimization effort.
+struct OptimizerStats {
+  int64_t join_steps_costed = 0;       // (subset, inner, method) combinations
+  int64_t dp_entries = 0;              // DP table entries created
+  int64_t nested_optimizations = 0;    // recursive Optimize calls for views
+  int64_t eq_class_hits = 0;           // parametric cache hits
+  int64_t eq_class_misses = 0;         // parametric cache fills
+  int64_t filter_joins_costed = 0;
+
+  void Reset() { *this = OptimizerStats(); }
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_OPTIMIZER_OPTIMIZER_OPTIONS_H_

@@ -1,0 +1,135 @@
+#include "src/plan/logical_plan.h"
+
+#include <sstream>
+
+namespace magicdb {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+DataType AggSpec::ResultType() const {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kSum:
+      return arg && arg->result_type() == DataType::kInt64 ? DataType::kInt64
+                                                           : DataType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg ? arg->result_type() : DataType::kNull;
+  }
+  return DataType::kNull;
+}
+
+namespace {
+void AppendTree(const LogicalNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << node.Describe() << "\n";
+  for (const LogicalPtr& c : node.children()) {
+    AppendTree(*c, depth + 1, os);
+  }
+}
+}  // namespace
+
+std::string LogicalNode::ToString() const {
+  std::ostringstream os;
+  AppendTree(*this, 0, &os);
+  return os.str();
+}
+
+std::string RelScanNode::Describe() const {
+  std::string s = "Scan " + relation_name_;
+  if (alias_ != relation_name_) s += " AS " + alias_;
+  return s;
+}
+
+std::string FilterSetRefNode::Describe() const {
+  return "FilterSetRef " + binding_id_ + " " + schema().ToString();
+}
+
+std::string NaryJoinNode::Describe() const {
+  std::string s = "NaryJoin[" + std::to_string(children().size()) + "]";
+  if (predicate_) s += " on " + predicate_->ToString();
+  return s;
+}
+
+std::string FilterSetProbeNode::Describe() const {
+  std::string s = "FilterSetProbe " + binding_id_ + " keys(";
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += schema().column(key_columns_[i]).QualifiedName();
+  }
+  return s + ")";
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter " + predicate_->ToString();
+}
+
+std::string ProjectNode::Describe() const {
+  std::string s = "Project ";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += exprs_[i]->ToString() + " AS " + schema().column(i).QualifiedName();
+  }
+  return s;
+}
+
+std::string AggregateNode::Describe() const {
+  std::string s = "Aggregate group-by(";
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += group_by_[i]->ToString();
+  }
+  s += ") aggs(";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += AggFuncName(aggs_[i].func);
+    if (aggs_[i].arg) s += "(" + aggs_[i].arg->ToString() + ")";
+  }
+  s += ")";
+  return s;
+}
+
+std::string DistinctNode::Describe() const { return "Distinct"; }
+
+bool PlanContainsFilterSet(const LogicalNode& plan) {
+  if (plan.kind() == LogicalKind::kFilterSetRef ||
+      plan.kind() == LogicalKind::kFilterSetProbe) {
+    return true;
+  }
+  for (const LogicalPtr& c : plan.children()) {
+    if (PlanContainsFilterSet(*c)) return true;
+  }
+  return false;
+}
+
+std::string SortNode::Describe() const {
+  std::string s = "Sort ";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += keys_[i].expr->ToString();
+    s += keys_[i].ascending ? " ASC" : " DESC";
+  }
+  return s;
+}
+
+}  // namespace magicdb

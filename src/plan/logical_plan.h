@@ -1,0 +1,231 @@
+#ifndef MAGICDB_PLAN_LOGICAL_PLAN_H_
+#define MAGICDB_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/types/schema.h"
+
+namespace magicdb {
+
+class LogicalNode;
+/// Logical plans are immutable trees shared between the optimizer's
+/// alternatives.
+using LogicalPtr = std::shared_ptr<const LogicalNode>;
+
+enum class LogicalKind {
+  kRelScan,       // named relation: base table, view, remote table, function
+  kFilterSetRef,  // magic filter set scanned as a relation (exact impl only)
+  kFilterSetProbe,  // semi-join restriction by a magic filter set
+  kNaryJoin,      // join block: N inputs + conjunctive predicate
+  kFilter,
+  kProject,
+  kAggregate,
+  kDistinct,
+  kSort,
+};
+
+/// Aggregate functions supported by the engine.
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate output: FUNC(arg) AS name. `arg` is null for COUNT(*).
+struct AggSpec {
+  AggFunc func;
+  ExprPtr arg;
+  std::string output_name;
+
+  /// Result type of this aggregate given the arg type.
+  DataType ResultType() const;
+};
+
+/// Base class for logical operators. Every node knows its output schema.
+class LogicalNode {
+ public:
+  virtual ~LogicalNode() = default;
+
+  LogicalKind kind() const { return kind_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<LogicalPtr>& children() const { return children_; }
+
+  /// Single-line description of this node (without children).
+  virtual std::string Describe() const = 0;
+
+  /// Multi-line indented tree rendering.
+  std::string ToString() const;
+
+ protected:
+  LogicalNode(LogicalKind kind, Schema schema, std::vector<LogicalPtr> children)
+      : kind_(kind), schema_(std::move(schema)), children_(std::move(children)) {}
+
+ private:
+  LogicalKind kind_;
+  Schema schema_;
+  std::vector<LogicalPtr> children_;
+};
+
+/// Scan of a named catalog relation under an alias. The catalog decides at
+/// optimization time whether this is a base table, a view (virtual
+/// relation), a remote table, or a table function.
+class RelScanNode final : public LogicalNode {
+ public:
+  RelScanNode(std::string relation_name, std::string alias, Schema schema)
+      : LogicalNode(LogicalKind::kRelScan, std::move(schema), {}),
+        relation_name_(std::move(relation_name)),
+        alias_(std::move(alias)) {}
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::string& alias() const { return alias_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::string relation_name_;
+  std::string alias_;
+};
+
+/// Placeholder for a magic filter set materialized at runtime. Appears only
+/// inside magic-rewritten view plans; the executor resolves `binding_id`
+/// through the execution context.
+class FilterSetRefNode final : public LogicalNode {
+ public:
+  FilterSetRefNode(std::string binding_id, Schema schema)
+      : LogicalNode(LogicalKind::kFilterSetRef, std::move(schema), {}),
+        binding_id_(std::move(binding_id)) {}
+
+  const std::string& binding_id() const { return binding_id_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::string binding_id_;
+};
+
+/// Join block: the N FROM-clause inputs plus the conjunctive predicate over
+/// the concatenation of their schemas (child order). The System-R optimizer
+/// consumes this node directly; join order is its output, not this node's.
+class NaryJoinNode final : public LogicalNode {
+ public:
+  NaryJoinNode(std::vector<LogicalPtr> inputs, ExprPtr predicate, Schema schema)
+      : LogicalNode(LogicalKind::kNaryJoin, std::move(schema),
+                    std::move(inputs)),
+        predicate_(std::move(predicate)) {}
+
+  /// May be null (pure cross product).
+  const ExprPtr& predicate() const { return predicate_; }
+
+  std::string Describe() const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Restricts the child to tuples whose `key_columns` appear in the filter
+/// set bound under `binding_id` at execution time — the algebraic form of
+/// the magic restriction ("join with Filter F" in Figure 2, as a
+/// semi-join). Schema is unchanged. The magic rewrite (src/rewrite) pushes
+/// this node as deep into a virtual relation's plan as correctness allows.
+class FilterSetProbeNode final : public LogicalNode {
+ public:
+  FilterSetProbeNode(LogicalPtr child, std::string binding_id,
+                     std::vector<int> key_columns)
+      : LogicalNode(LogicalKind::kFilterSetProbe, child->schema(), {child}),
+        binding_id_(std::move(binding_id)),
+        key_columns_(std::move(key_columns)) {}
+
+  const std::string& binding_id() const { return binding_id_; }
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::string binding_id_;
+  std::vector<int> key_columns_;
+};
+
+class FilterNode final : public LogicalNode {
+ public:
+  FilterNode(LogicalPtr child, ExprPtr predicate)
+      : LogicalNode(LogicalKind::kFilter, child->schema(), {child}),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+  std::string Describe() const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectNode final : public LogicalNode {
+ public:
+  /// `exprs[i]` computes output column i; `schema` names them.
+  ProjectNode(LogicalPtr child, std::vector<ExprPtr> exprs, Schema schema)
+      : LogicalNode(LogicalKind::kProject, std::move(schema), {child}),
+        exprs_(std::move(exprs)) {}
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+class AggregateNode final : public LogicalNode {
+ public:
+  /// Output schema: one column per group-by expr, then one per agg spec.
+  AggregateNode(LogicalPtr child, std::vector<ExprPtr> group_by,
+                std::vector<AggSpec> aggs, Schema schema)
+      : LogicalNode(LogicalKind::kAggregate, std::move(schema), {child}),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  const std::vector<ExprPtr>& group_by() const { return group_by_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+};
+
+class DistinctNode final : public LogicalNode {
+ public:
+  explicit DistinctNode(LogicalPtr child)
+      : LogicalNode(LogicalKind::kDistinct, child->schema(), {child}) {}
+
+  std::string Describe() const override;
+};
+
+class SortNode final : public LogicalNode {
+ public:
+  struct SortKey {
+    ExprPtr expr;
+    bool ascending = true;
+  };
+
+  SortNode(LogicalPtr child, std::vector<SortKey> keys)
+      : LogicalNode(LogicalKind::kSort, child->schema(), {child}),
+        keys_(std::move(keys)) {}
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// True if `plan` contains a FilterSetRef or FilterSetProbe node, i.e. it
+/// is (part of) a magic-rewritten plan. The optimizer never offers a Filter
+/// Join on such fragments — rewriting a rewrite never terminates.
+bool PlanContainsFilterSet(const LogicalNode& plan);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,217 @@
+#include "src/rewrite/magic_rewrite.h"
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+namespace {
+
+/// Anchors the restriction at `node`. kProbe wraps with a membership
+/// probe; kJoin adds the filter set as a join input with key-equality
+/// predicates and projects its columns away again (Figure 2's shape).
+LogicalPtr RestrictHere(const LogicalPtr& node, const std::vector<int>& keys,
+                        const std::string& binding_id, RewriteStyle style) {
+  if (style == RewriteStyle::kProbe) {
+    return std::make_shared<FilterSetProbeNode>(node, binding_id, keys);
+  }
+  // Join style: NaryJoin([node, F], node.key[i] = F.col[i]) projected back
+  // onto node's schema. F holds distinct keys, so no duplicates appear.
+  Schema f_schema;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Column c = node->schema().column(keys[i]);
+    c.qualifier = "F";
+    f_schema.AddColumn(c);
+  }
+  auto fref = std::make_shared<FilterSetRefNode>(binding_id, f_schema);
+  Schema block = node->schema().Concat(f_schema);
+  const int n = node->schema().num_columns();
+  std::vector<ExprPtr> eqs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    eqs.push_back(MakeComparison(
+        CompareOp::kEq,
+        MakeColumnRef(keys[i], block.column(keys[i]).type,
+                      block.column(keys[i]).QualifiedName()),
+        MakeColumnRef(n + static_cast<int>(i),
+                      block.column(n + static_cast<int>(i)).type,
+                      block.column(n + static_cast<int>(i)).QualifiedName())));
+  }
+  auto join = std::make_shared<NaryJoinNode>(
+      std::vector<LogicalPtr>{node, fref}, ConjoinAll(eqs), block);
+  std::vector<ExprPtr> out_exprs;
+  for (int c = 0; c < n; ++c) {
+    out_exprs.push_back(MakeColumnRef(c, block.column(c).type,
+                                      block.column(c).QualifiedName()));
+  }
+  return std::make_shared<ProjectNode>(join, out_exprs, node->schema());
+}
+
+/// Maps `keys` (output columns of a Project/Aggregate) to input columns;
+/// returns false if any key is computed by a non-trivial expression.
+bool MapThroughExprs(const std::vector<ExprPtr>& exprs,
+                     const std::vector<int>& keys,
+                     std::vector<int>* mapped) {
+  mapped->clear();
+  for (int k : keys) {
+    if (k < 0 || k >= static_cast<int>(exprs.size())) return false;
+    const Expr* e = exprs[k].get();
+    if (e == nullptr || e->kind() != ExprKind::kColumnRef) return false;
+    mapped->push_back(static_cast<const ColumnRefExpr*>(e)->index());
+  }
+  return true;
+}
+
+StatusOr<LogicalPtr> Rewrite(const LogicalPtr& node,
+                             const std::vector<int>& keys,
+                             const std::string& binding_id,
+                             RewriteStyle style, const Catalog* catalog,
+                             int depth) {
+  if (depth > 16) {
+    return Status::Internal("magic rewrite recursion too deep");
+  }
+  for (int k : keys) {
+    if (k < 0 || k >= node->schema().num_columns()) {
+      return Status::InvalidArgument(
+          "magic rewrite key column out of range: " + std::to_string(k));
+    }
+  }
+  switch (node->kind()) {
+    case LogicalKind::kFilter: {
+      const auto* filter = static_cast<const FilterNode*>(node.get());
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child, Rewrite(node->children()[0], keys, binding_id, style, catalog, depth + 1));
+      return LogicalPtr(
+          std::make_shared<FilterNode>(child, filter->predicate()));
+    }
+    case LogicalKind::kDistinct: {
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child, Rewrite(node->children()[0], keys, binding_id, style, catalog, depth + 1));
+      return LogicalPtr(std::make_shared<DistinctNode>(child));
+    }
+    case LogicalKind::kSort: {
+      const auto* sort = static_cast<const SortNode*>(node.get());
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child, Rewrite(node->children()[0], keys, binding_id, style, catalog, depth + 1));
+      return LogicalPtr(std::make_shared<SortNode>(child, sort->keys()));
+    }
+    case LogicalKind::kProject: {
+      const auto* project = static_cast<const ProjectNode*>(node.get());
+      std::vector<int> mapped;
+      if (!MapThroughExprs(project->exprs(), keys, &mapped)) {
+        return RestrictHere(node, keys, binding_id, style);
+      }
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child, Rewrite(node->children()[0], mapped, binding_id, style, catalog, depth + 1));
+      return LogicalPtr(std::make_shared<ProjectNode>(
+          child, project->exprs(), project->schema()));
+    }
+    case LogicalKind::kAggregate: {
+      const auto* agg = static_cast<const AggregateNode*>(node.get());
+      // Output layout: group-by columns first. Keys must all be group-by
+      // columns that are pure column refs of the child.
+      const int num_groups = static_cast<int>(agg->group_by().size());
+      bool pushable = true;
+      std::vector<int> mapped;
+      for (int k : keys) {
+        if (k >= num_groups) {
+          pushable = false;
+          break;
+        }
+        const Expr* e = agg->group_by()[k].get();
+        if (e == nullptr || e->kind() != ExprKind::kColumnRef) {
+          pushable = false;
+          break;
+        }
+        mapped.push_back(static_cast<const ColumnRefExpr*>(e)->index());
+      }
+      if (!pushable) return RestrictHere(node, keys, binding_id, style);
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child, Rewrite(node->children()[0], mapped, binding_id, style, catalog, depth + 1));
+      return LogicalPtr(std::make_shared<AggregateNode>(
+          child, agg->group_by(), agg->aggs(), agg->schema()));
+    }
+    case LogicalKind::kNaryJoin: {
+      const auto* join = static_cast<const NaryJoinNode*>(node.get());
+      // Find the single input whose column range covers every key.
+      int offset = 0;
+      int target = -1;
+      int target_offset = 0;
+      for (size_t c = 0; c < join->children().size(); ++c) {
+        const int width = join->children()[c]->schema().num_columns();
+        bool covers_all = true;
+        for (int k : keys) {
+          if (k < offset || k >= offset + width) {
+            covers_all = false;
+            break;
+          }
+        }
+        if (covers_all) {
+          target = static_cast<int>(c);
+          target_offset = offset;
+          break;
+        }
+        offset += width;
+      }
+      if (target < 0) return RestrictHere(node, keys, binding_id, style);
+      std::vector<int> shifted;
+      shifted.reserve(keys.size());
+      for (int k : keys) shifted.push_back(k - target_offset);
+      MAGICDB_ASSIGN_OR_RETURN(
+          LogicalPtr child,
+          Rewrite(join->children()[target], shifted, binding_id, style, catalog,
+                  depth + 1));
+      std::vector<LogicalPtr> inputs = join->children();
+      inputs[target] = child;
+      return LogicalPtr(std::make_shared<NaryJoinNode>(
+          std::move(inputs), join->predicate(), join->schema()));
+    }
+    case LogicalKind::kRelScan: {
+      // Stacked views: inline the view body (positionally identical to the
+      // scan) and keep pushing the restriction inside it.
+      if (catalog != nullptr) {
+        const auto* scan = static_cast<const RelScanNode*>(node.get());
+        auto entry = catalog->Lookup(scan->relation_name());
+        if (entry.ok() && (*entry)->kind == CatalogEntry::Kind::kView) {
+          return Rewrite((*entry)->view_plan, keys, binding_id, style,
+                         catalog, depth + 1);
+        }
+      }
+      return RestrictHere(node, keys, binding_id, style);
+    }
+    case LogicalKind::kFilterSetRef:
+    case LogicalKind::kFilterSetProbe:
+      return RestrictHere(node, keys, binding_id, style);
+  }
+  return Status::Internal("unhandled logical node kind in magic rewrite");
+}
+
+int ProbeDepthInternal(const LogicalNode& node, int depth) {
+  if (node.kind() == LogicalKind::kFilterSetProbe ||
+      node.kind() == LogicalKind::kFilterSetRef) {
+    return depth;
+  }
+  for (const LogicalPtr& c : node.children()) {
+    const int d = ProbeDepthInternal(*c, depth + 1);
+    if (d >= 0) return d;
+  }
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<LogicalPtr> MagicRewrite(const LogicalPtr& plan,
+                                  const std::vector<int>& key_columns,
+                                  const std::string& binding_id,
+                                  RewriteStyle style, const Catalog* catalog) {
+  if (!plan) return Status::InvalidArgument("magic rewrite of null plan");
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("magic rewrite needs at least one key");
+  }
+  return Rewrite(plan, key_columns, binding_id, style, catalog, 0);
+}
+
+int ProbeDepth(const LogicalPtr& rewritten) {
+  if (!rewritten) return -1;
+  return ProbeDepthInternal(*rewritten, 0);
+}
+
+}  // namespace magicdb

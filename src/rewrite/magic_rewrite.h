@@ -1,0 +1,60 @@
+#ifndef MAGICDB_REWRITE_MAGIC_REWRITE_H_
+#define MAGICDB_REWRITE_MAGIC_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/statusor.h"
+#include "src/plan/logical_plan.h"
+
+namespace magicdb {
+
+/// How the pushed restriction is expressed at the anchor point.
+enum class RewriteStyle {
+  /// Semi-join membership probe (FilterSetProbeNode). Works for both exact
+  /// and Bloom filter sets, but the restricted plan still enumerates the
+  /// anchor relation and filters it.
+  kProbe,
+  /// The filter set becomes an additional join input (FilterSetRefNode)
+  /// with equality predicates on the keys, projected away afterwards —
+  /// the literal shape of Figure 2's RestrictedDepAvgSal. Requires an
+  /// exact (scannable) filter set, and lets the nested optimizer drive the
+  /// anchor relation through an index with |F| probes.
+  kJoin,
+};
+
+/// Magic-sets rewriting as a plan transformation (the algebra of the
+/// paper): given a virtual relation's plan and the output columns that will
+/// be bound by a filter set, produce the *restricted* plan — the plan with
+/// the restriction pushed as deep as correctness allows:
+///
+///  * below Project when every key column maps to a pure column reference;
+///  * below Aggregate when the keys are a subset of the group-by columns
+///    (restricting groups before aggregation equals restricting after,
+///    because the group key determines membership — this is the step that
+///    turns DepAvgSal into RestrictedDepAvgSal in Figure 2);
+///  * below Filter / Distinct / Sort unconditionally;
+///  * into the single NaryJoin input that produces all key columns.
+///
+/// The result has the same schema and, for any bound filter set F, produces
+/// exactly the tuples of the original plan whose key columns fall in F
+/// (a superset when F is a lossy Bloom binding).
+/// With a `catalog`, scans of views are expanded in place so the
+/// restriction can push through stacked views (§2.1: "if Emp itself were
+/// really a view") — the inlined view body is positionally identical to
+/// the scan it replaces.
+StatusOr<LogicalPtr> MagicRewrite(const LogicalPtr& plan,
+                                  const std::vector<int>& key_columns,
+                                  const std::string& binding_id,
+                                  RewriteStyle style = RewriteStyle::kProbe,
+                                  const Catalog* catalog = nullptr);
+
+/// Depth (number of nodes) below which the probe was pushed in the last
+/// rewrite of `plan` — diagnostic for tests: 0 means the probe sits at the
+/// root (no push-down was possible).
+int ProbeDepth(const LogicalPtr& rewritten);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_REWRITE_MAGIC_REWRITE_H_

@@ -1,0 +1,85 @@
+#ifndef MAGICDB_SQL_AST_H_
+#define MAGICDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/types/value.h"
+
+namespace magicdb {
+
+struct ParsedExpr;
+using ParsedExprPtr = std::shared_ptr<ParsedExpr>;
+
+/// Unresolved expression produced by the parser; the binder resolves
+/// identifiers against schemas and produces executable Expr trees.
+struct ParsedExpr {
+  enum class Kind {
+    kLiteral,
+    kIdentifier,  // possibly qualified: parts = {"E", "did"} or {"did"}
+    kUnary,       // NOT, unary minus
+    kBinary,      // comparison / arithmetic / AND / OR
+    kFuncCall,    // aggregate: AVG/SUM/COUNT/MIN/MAX
+  };
+
+  Kind kind;
+  // kLiteral
+  Value literal;
+  // kIdentifier
+  std::vector<std::string> parts;
+  // kUnary / kBinary: op is the token text ("NOT", "-", "=", "AND", ...).
+  std::string op;
+  ParsedExprPtr left;
+  ParsedExprPtr right;
+  // kFuncCall
+  std::string func;  // upper-case
+  ParsedExprPtr arg;
+  bool star = false;  // COUNT(*)
+};
+
+struct SelectItem {
+  ParsedExprPtr expr;  // null when star
+  std::string alias;   // may be empty
+  bool star = false;   // SELECT *
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ParsedExprPtr where;             // may be null
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;            // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;              // -1 = none
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// A parsed SQL statement.
+struct Statement {
+  enum class Kind { kSelect, kCreateView, kCreateTable };
+
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;  // kSelect and kCreateView
+  std::string name;                    // view/table name
+  std::vector<ColumnDef> columns;      // kCreateTable
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SQL_AST_H_

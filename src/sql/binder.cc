@@ -1,0 +1,356 @@
+#include "src/sql/binder.h"
+
+#include <set>
+
+namespace magicdb {
+
+namespace {
+
+StatusOr<CompareOp> ToCompareOp(const std::string& op) {
+  if (op == "=") return CompareOp::kEq;
+  if (op == "<>") return CompareOp::kNe;
+  if (op == "<") return CompareOp::kLt;
+  if (op == "<=") return CompareOp::kLe;
+  if (op == ">") return CompareOp::kGt;
+  if (op == ">=") return CompareOp::kGe;
+  return Status::Internal("not a comparison op: " + op);
+}
+
+StatusOr<AggFunc> ToAggFunc(const std::string& name, bool star) {
+  if (name == "COUNT") return star ? AggFunc::kCountStar : AggFunc::kCount;
+  if (star) return Status::BindError("* is only valid in COUNT(*)");
+  if (name == "AVG") return AggFunc::kAvg;
+  if (name == "SUM") return AggFunc::kSum;
+  if (name == "MIN") return AggFunc::kMin;
+  if (name == "MAX") return AggFunc::kMax;
+  return Status::Internal("not an aggregate: " + name);
+}
+
+/// Display/derived name for a select item.
+std::string ItemName(const SelectItem& item, int index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ParsedExpr::Kind::kIdentifier) {
+    return item.expr->parts.back();
+  }
+  if (item.expr && item.expr->kind == ParsedExpr::Kind::kFuncCall) {
+    std::string n = item.expr->func;
+    std::transform(n.begin(), n.end(), n.begin(), ::tolower);
+    return n;
+  }
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+struct Binder::AggContext {
+  const Binder* binder;
+  const Schema* block_schema;
+  /// Bound group-by expressions (over the block schema).
+  std::vector<ExprPtr> group_exprs;
+  /// Collected aggregate specs; outputs live at group_exprs.size() + i.
+  std::vector<AggSpec> specs;
+  /// Output schema of the aggregate (group cols then agg cols), built as
+  /// specs are collected.
+  Schema agg_schema;
+};
+
+bool Binder::ContainsAggregate(const ParsedExpr& expr) {
+  switch (expr.kind) {
+    case ParsedExpr::Kind::kFuncCall:
+      return true;
+    case ParsedExpr::Kind::kUnary:
+      return expr.left && ContainsAggregate(*expr.left);
+    case ParsedExpr::Kind::kBinary:
+      return (expr.left && ContainsAggregate(*expr.left)) ||
+             (expr.right && ContainsAggregate(*expr.right));
+    default:
+      return false;
+  }
+}
+
+StatusOr<ExprPtr> Binder::BindScalar(const ParsedExpr& expr,
+                                     const Schema& schema) const {
+  switch (expr.kind) {
+    case ParsedExpr::Kind::kLiteral:
+      return MakeLiteral(expr.literal);
+    case ParsedExpr::Kind::kIdentifier: {
+      std::string qualifier, name;
+      if (expr.parts.size() == 1) {
+        name = expr.parts[0];
+      } else if (expr.parts.size() == 2) {
+        qualifier = expr.parts[0];
+        name = expr.parts[1];
+      } else {
+        return Status::BindError("too many qualifiers in column reference");
+      }
+      MAGICDB_ASSIGN_OR_RETURN(int idx, schema.FindColumn(qualifier, name));
+      return MakeColumnRef(idx, schema.column(idx).type,
+                           schema.column(idx).QualifiedName());
+    }
+    case ParsedExpr::Kind::kUnary: {
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr operand,
+                               BindScalar(*expr.left, schema));
+      if (expr.op == "NOT") return MakeNot(std::move(operand));
+      if (expr.op == "-") {
+        return MakeArithmetic(ArithOp::kSub, MakeLiteral(Value::Int64(0)),
+                              std::move(operand));
+      }
+      return Status::BindError("unknown unary operator " + expr.op);
+    }
+    case ParsedExpr::Kind::kBinary: {
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr left, BindScalar(*expr.left, schema));
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr right,
+                               BindScalar(*expr.right, schema));
+      if (expr.op == "AND") return MakeAnd(std::move(left), std::move(right));
+      if (expr.op == "OR") return MakeOr(std::move(left), std::move(right));
+      if (expr.op == "+") {
+        return MakeArithmetic(ArithOp::kAdd, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "-") {
+        return MakeArithmetic(ArithOp::kSub, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "*") {
+        return MakeArithmetic(ArithOp::kMul, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "/") {
+        return MakeArithmetic(ArithOp::kDiv, std::move(left),
+                              std::move(right));
+      }
+      MAGICDB_ASSIGN_OR_RETURN(CompareOp op, ToCompareOp(expr.op));
+      return MakeComparison(op, std::move(left), std::move(right));
+    }
+    case ParsedExpr::Kind::kFuncCall:
+      return Status::BindError(
+          "aggregate " + expr.func +
+          " is not allowed here (only in SELECT list and HAVING)");
+  }
+  return Status::Internal("unhandled parsed expression kind");
+}
+
+StatusOr<ExprPtr> Binder::BindAggregate(const ParsedExpr& expr,
+                                        AggContext* agg) const {
+  switch (expr.kind) {
+    case ParsedExpr::Kind::kLiteral:
+      return MakeLiteral(expr.literal);
+    case ParsedExpr::Kind::kFuncCall: {
+      MAGICDB_ASSIGN_OR_RETURN(AggFunc func, ToAggFunc(expr.func, expr.star));
+      ExprPtr arg;
+      if (!expr.star) {
+        MAGICDB_ASSIGN_OR_RETURN(arg,
+                                 BindScalar(*expr.arg, *agg->block_schema));
+      }
+      // Reuse an identical spec if present.
+      const std::string key = std::string(AggFuncName(func)) +
+                              (arg ? arg->ToString() : "");
+      for (size_t i = 0; i < agg->specs.size(); ++i) {
+        const AggSpec& s = agg->specs[i];
+        const std::string existing = std::string(AggFuncName(s.func)) +
+                                     (s.arg ? s.arg->ToString() : "");
+        if (existing == key) {
+          const int pos = static_cast<int>(agg->group_exprs.size() + i);
+          return MakeColumnRef(pos, s.ResultType(), s.output_name);
+        }
+      }
+      AggSpec spec{func, arg,
+                   "agg" + std::to_string(agg->specs.size())};
+      const int pos =
+          static_cast<int>(agg->group_exprs.size() + agg->specs.size());
+      agg->agg_schema.AddColumn({"", spec.output_name, spec.ResultType()});
+      ExprPtr ref = MakeColumnRef(pos, spec.ResultType(), spec.output_name);
+      agg->specs.push_back(std::move(spec));
+      return ref;
+    }
+    case ParsedExpr::Kind::kIdentifier: {
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr bound,
+                               BindScalar(expr, *agg->block_schema));
+      // Must correspond to a group-by expression.
+      for (size_t i = 0; i < agg->group_exprs.size(); ++i) {
+        if (agg->group_exprs[i]->ToString() == bound->ToString()) {
+          return MakeColumnRef(static_cast<int>(i),
+                               agg->agg_schema.column(static_cast<int>(i)).type,
+                               agg->agg_schema.column(static_cast<int>(i))
+                                   .QualifiedName());
+        }
+      }
+      return Status::BindError("column " + bound->ToString() +
+                               " must appear in GROUP BY or inside an "
+                               "aggregate");
+    }
+    case ParsedExpr::Kind::kUnary:
+    case ParsedExpr::Kind::kBinary: {
+      // A compound expression that matches a GROUP BY expression verbatim
+      // binds to that group column (SQL: "GROUP BY v / 6" makes "v / 6"
+      // selectable).
+      if (!ContainsAggregate(expr)) {
+        auto bound = BindScalar(expr, *agg->block_schema);
+        if (bound.ok()) {
+          for (size_t i = 0; i < agg->group_exprs.size(); ++i) {
+            if (agg->group_exprs[i]->ToString() == (*bound)->ToString()) {
+              return MakeColumnRef(
+                  static_cast<int>(i),
+                  agg->agg_schema.column(static_cast<int>(i)).type,
+                  agg->agg_schema.column(static_cast<int>(i))
+                      .QualifiedName());
+            }
+          }
+        }
+      }
+      if (expr.kind == ParsedExpr::Kind::kUnary) {
+        MAGICDB_ASSIGN_OR_RETURN(ExprPtr operand,
+                                 BindAggregate(*expr.left, agg));
+        if (expr.op == "NOT") return MakeNot(std::move(operand));
+        if (expr.op == "-") {
+          return MakeArithmetic(ArithOp::kSub, MakeLiteral(Value::Int64(0)),
+                                std::move(operand));
+        }
+        return Status::BindError("unknown unary operator " + expr.op);
+      }
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr left, BindAggregate(*expr.left, agg));
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr right, BindAggregate(*expr.right, agg));
+      if (expr.op == "AND") return MakeAnd(std::move(left), std::move(right));
+      if (expr.op == "OR") return MakeOr(std::move(left), std::move(right));
+      if (expr.op == "+") {
+        return MakeArithmetic(ArithOp::kAdd, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "-") {
+        return MakeArithmetic(ArithOp::kSub, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "*") {
+        return MakeArithmetic(ArithOp::kMul, std::move(left),
+                              std::move(right));
+      }
+      if (expr.op == "/") {
+        return MakeArithmetic(ArithOp::kDiv, std::move(left),
+                              std::move(right));
+      }
+      MAGICDB_ASSIGN_OR_RETURN(CompareOp op, ToCompareOp(expr.op));
+      return MakeComparison(op, std::move(left), std::move(right));
+    }
+  }
+  return Status::Internal("unhandled parsed expression kind");
+}
+
+StatusOr<LogicalPtr> Binder::BindSelect(const SelectStmt& stmt) const {
+  if (stmt.from.empty()) {
+    return Status::BindError("FROM clause is required");
+  }
+  // FROM inputs and block schema.
+  std::vector<LogicalPtr> inputs;
+  Schema block;
+  std::set<std::string> aliases;
+  for (const TableRef& ref : stmt.from) {
+    if (!aliases.insert(ref.alias).second) {
+      return Status::BindError("duplicate range variable: " + ref.alias);
+    }
+    MAGICDB_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                             catalog_->Lookup(ref.name));
+    Schema schema = entry->schema.WithQualifier(ref.alias);
+    inputs.push_back(
+        std::make_shared<RelScanNode>(ref.name, ref.alias, schema));
+    block = block.Concat(schema);
+  }
+
+  // WHERE over the block schema.
+  ExprPtr where;
+  if (stmt.where) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    MAGICDB_ASSIGN_OR_RETURN(where, BindScalar(*stmt.where, block));
+  }
+  LogicalPtr plan =
+      std::make_shared<NaryJoinNode>(std::move(inputs), where, block);
+
+  // Aggregate query?
+  bool has_agg = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr && ContainsAggregate(*item.expr)) has_agg = true;
+  }
+
+  std::vector<ExprPtr> out_exprs;
+  Schema out_schema;
+
+  if (has_agg) {
+    AggContext agg;
+    agg.binder = this;
+    agg.block_schema = &block;
+    for (const ParsedExprPtr& g : stmt.group_by) {
+      if (ContainsAggregate(*g)) {
+        return Status::BindError("aggregates are not allowed in GROUP BY");
+      }
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr bound, BindScalar(*g, block));
+      // Group column name: the underlying column for plain references.
+      Column col{"", "g" + std::to_string(agg.group_exprs.size()),
+                 bound->result_type()};
+      if (bound->kind() == ExprKind::kColumnRef) {
+        const int idx = static_cast<const ColumnRefExpr*>(bound.get())->index();
+        col.qualifier = block.column(idx).qualifier;
+        col.name = block.column(idx).name;
+      }
+      agg.agg_schema.AddColumn(col);
+      agg.group_exprs.push_back(std::move(bound));
+    }
+    // Bind select items (collects agg specs and extends agg_schema).
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.star) {
+        return Status::BindError("SELECT * is not valid with GROUP BY");
+      }
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr bound, BindAggregate(*item.expr, &agg));
+      out_exprs.push_back(bound);
+      out_schema.AddColumn(
+          {"", ItemName(item, static_cast<int>(i)), bound->result_type()});
+    }
+    ExprPtr having;
+    if (stmt.having) {
+      MAGICDB_ASSIGN_OR_RETURN(having, BindAggregate(*stmt.having, &agg));
+    }
+    plan = std::make_shared<AggregateNode>(plan, agg.group_exprs, agg.specs,
+                                           agg.agg_schema);
+    if (having) {
+      plan = std::make_shared<FilterNode>(plan, having);
+    }
+    plan = std::make_shared<ProjectNode>(plan, out_exprs, out_schema);
+  } else {
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.star) {
+        for (int c = 0; c < block.num_columns(); ++c) {
+          out_exprs.push_back(MakeColumnRef(c, block.column(c).type,
+                                            block.column(c).QualifiedName()));
+          out_schema.AddColumn(block.column(c));
+        }
+        continue;
+      }
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr bound, BindScalar(*item.expr, block));
+      out_exprs.push_back(bound);
+      out_schema.AddColumn(
+          {"", ItemName(item, static_cast<int>(i)), bound->result_type()});
+    }
+    plan = std::make_shared<ProjectNode>(plan, out_exprs, out_schema);
+  }
+
+  if (stmt.distinct) {
+    plan = std::make_shared<DistinctNode>(plan);
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<SortNode::SortKey> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      // Resolve against the output schema (aliases), falling back to bare
+      // column names.
+      MAGICDB_ASSIGN_OR_RETURN(ExprPtr bound,
+                               BindScalar(*item.expr, plan->schema()));
+      keys.push_back({bound, item.ascending});
+    }
+    plan = std::make_shared<SortNode>(plan, keys);
+  }
+  return plan;
+}
+
+}  // namespace magicdb

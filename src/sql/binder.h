@@ -1,0 +1,44 @@
+#ifndef MAGICDB_SQL_BINDER_H_
+#define MAGICDB_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/statusor.h"
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+
+namespace magicdb {
+
+/// Resolves a parsed SELECT against the catalog into a bound logical plan:
+///
+///   Sort? ( Distinct? ( Project ( Filter?(HAVING) ( Aggregate? (
+///       NaryJoin(inputs, WHERE) )))))
+///
+/// LIMIT is left to the caller (it is an executor concern).
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  StatusOr<LogicalPtr> BindSelect(const SelectStmt& stmt) const;
+
+  /// Binds a scalar (non-aggregate) parsed expression against `schema`.
+  StatusOr<ExprPtr> BindScalar(const ParsedExpr& expr,
+                               const Schema& schema) const;
+
+ private:
+  struct AggContext;
+
+  /// Binds an expression in aggregate-output space, collecting AggSpecs.
+  StatusOr<ExprPtr> BindAggregate(const ParsedExpr& expr,
+                                  AggContext* agg_ctx) const;
+
+  static bool ContainsAggregate(const ParsedExpr& expr);
+
+  const Catalog* catalog_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SQL_BINDER_H_

@@ -1,0 +1,148 @@
+#include "src/sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace magicdb {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::set<std::string>({
+      "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",      "HAVING",
+      "ORDER",  "ASC",    "DESC",   "AND",     "OR",      "NOT",
+      "AS",     "CREATE", "VIEW",   "TABLE",   "DISTINCT", "AVG",
+      "SUM",    "COUNT",  "MIN",    "MAX",     "TRUE",    "FALSE",
+      "NULL",   "INT",    "INTEGER", "BIGINT", "DOUBLE",  "FLOAT",
+      "REAL",   "VARCHAR", "TEXT",  "STRING",  "BOOL",    "BOOLEAN",
+      "LIMIT",  "BETWEEN", "IN",
+  });
+  return *kKeywords;
+}
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_float = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        try {
+          t.float_value = std::stod(num);
+        } catch (...) {
+          return Status::ParseError("bad numeric literal: " + num);
+        }
+      } else {
+        t.type = TokenType::kInteger;
+        try {
+          t.int_value = std::stoll(num);
+        } catch (...) {
+          return Status::ParseError("bad integer literal: " + num);
+        }
+      }
+      t.text = num;
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += sql[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      t.type = TokenType::kString;
+      t.text = value;
+      i = j;
+    } else {
+      // Multi-char symbols first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+      std::string sym(1, c);
+      if (i + 1 < n) {
+        const std::string two = sql.substr(i, 2);
+        for (const char* s : kTwoChar) {
+          if (two == s) {
+            sym = two;
+            break;
+          }
+        }
+      }
+      static const std::string kSingles = "(),.+-*/=<>;";
+      if (sym.size() == 1 && kSingles.find(c) == std::string::npos) {
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(i));
+      }
+      t.type = TokenType::kSymbol;
+      t.text = sym;
+      i += sym.size();
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace magicdb

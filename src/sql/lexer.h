@@ -1,0 +1,38 @@
+#ifndef MAGICDB_SQL_LEXER_H_
+#define MAGICDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+
+namespace magicdb {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // ( ) , . + - * / = <> != < <= > >= ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords upper-cased; identifiers verbatim
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively;
+/// string literals use single quotes with '' escaping.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-case) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SQL_LEXER_H_

@@ -1,0 +1,425 @@
+#include "src/sql/parser.h"
+
+#include "src/sql/lexer.h"
+
+namespace magicdb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseTop() {
+    Statement stmt;
+    if (PeekKeyword("CREATE")) {
+      Advance();
+      if (PeekKeyword("VIEW")) {
+        Advance();
+        MAGICDB_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+        MAGICDB_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        MAGICDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+        stmt.kind = Statement::Kind::kCreateView;
+        stmt.select = std::make_unique<SelectStmt>(std::move(select));
+      } else if (PeekKeyword("TABLE")) {
+        Advance();
+        MAGICDB_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("table name"));
+        MAGICDB_RETURN_IF_ERROR(ExpectSymbol("("));
+        stmt.kind = Statement::Kind::kCreateTable;
+        while (true) {
+          ColumnDef col;
+          MAGICDB_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+          MAGICDB_ASSIGN_OR_RETURN(col.type, ParseType());
+          stmt.columns.push_back(std::move(col));
+          if (PeekSymbol(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        MAGICDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        return Err("expected VIEW or TABLE after CREATE");
+      }
+    } else {
+      MAGICDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::make_unique<SelectStmt>(std::move(select));
+    }
+    if (PeekSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekSymbol(const std::string& s) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == s;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return Err("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!PeekSymbol(s)) return Err("expected '" + s + "'");
+    Advance();
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected " + what);
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  StatusOr<DataType> ParseType() {
+    if (Peek().type != TokenType::kKeyword) return Err("expected a type");
+    const std::string t = Peek().text;
+    Advance();
+    if (t == "INT" || t == "INTEGER" || t == "BIGINT") return DataType::kInt64;
+    if (t == "DOUBLE" || t == "FLOAT" || t == "REAL") return DataType::kDouble;
+    if (t == "VARCHAR" || t == "TEXT" || t == "STRING") {
+      // Optional length: VARCHAR(32).
+      if (PeekSymbol("(")) {
+        Advance();
+        if (Peek().type != TokenType::kInteger) return Err("expected length");
+        Advance();
+        MAGICDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return DataType::kString;
+    }
+    if (t == "BOOL" || t == "BOOLEAN") return DataType::kBool;
+    return Err("unknown type " + t);
+  }
+
+  StatusOr<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    MAGICDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (ConsumeKeyword("DISTINCT")) stmt.distinct = true;
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (PeekSymbol("*")) {
+        Advance();
+        item.star = true;
+      } else {
+        MAGICDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          MAGICDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // FROM.
+    MAGICDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      TableRef ref;
+      MAGICDB_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("table name"));
+      if (ConsumeKeyword("AS")) {
+        MAGICDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Peek().text;
+        Advance();
+      } else {
+        ref.alias = ref.name;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      MAGICDB_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      MAGICDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      MAGICDB_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      MAGICDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        MAGICDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("ASC")) {
+          item.ascending = true;
+        } else if (ConsumeKeyword("DESC")) {
+          item.ascending = false;
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) return Err("expected LIMIT count");
+      stmt.limit = Peek().int_value;
+      Advance();
+    }
+    return stmt;
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < additive <
+  // multiplicative < unary < primary.
+  StatusOr<ParsedExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ParsedExprPtr> ParseOr() {
+    MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ParsedExprPtr> ParseAnd() {
+    MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ParsedExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr operand, ParseNot());
+      auto e = std::make_shared<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kUnary;
+      e->op = "NOT";
+      e->left = std::move(operand);
+      return ParsedExprPtr(e);
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ParsedExprPtr> ParseComparison() {
+    MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+    if (Peek().type == TokenType::kSymbol) {
+      const std::string& s = Peek().text;
+      if (s == "=" || s == "<>" || s == "!=" || s == "<" || s == "<=" ||
+          s == ">" || s == ">=") {
+        std::string op = s == "!=" ? "<>" : s;
+        Advance();
+        MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    if (PeekKeyword("BETWEEN")) {
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr lo, ParseAdditive());
+      MAGICDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr hi, ParseAdditive());
+      // x BETWEEN a AND b  =>  x >= a AND x <= b.
+      ParsedExprPtr ge = MakeBinary(">=", left, std::move(lo));
+      ParsedExprPtr le = MakeBinary("<=", std::move(left), std::move(hi));
+      return MakeBinary("AND", std::move(ge), std::move(le));
+    }
+    if (PeekKeyword("IN")) {
+      // x IN (a, b, c)  =>  x = a OR x = b OR x = c.
+      Advance();
+      MAGICDB_RETURN_IF_ERROR(ExpectSymbol("("));
+      ParsedExprPtr disjunction;
+      while (true) {
+        MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr item, ParseAdditive());
+        ParsedExprPtr eq = MakeBinary("=", left, std::move(item));
+        disjunction = disjunction
+                          ? MakeBinary("OR", std::move(disjunction),
+                                       std::move(eq))
+                          : std::move(eq);
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MAGICDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return disjunction;
+    }
+    return left;
+  }
+
+  StatusOr<ParsedExprPtr> ParseAdditive() {
+    MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      const std::string op = Peek().text;
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ParsedExprPtr> ParseMultiplicative() {
+    MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      const std::string op = Peek().text;
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ParsedExprPtr> ParseUnary() {
+    if (PeekSymbol("-")) {
+      Advance();
+      MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr operand, ParseUnary());
+      auto e = std::make_shared<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kUnary;
+      e->op = "-";
+      e->left = std::move(operand);
+      return ParsedExprPtr(e);
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ParsedExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_shared<ParsedExpr>();
+    switch (t.type) {
+      case TokenType::kInteger:
+        e->kind = ParsedExpr::Kind::kLiteral;
+        e->literal = Value::Int64(t.int_value);
+        Advance();
+        return ParsedExprPtr(e);
+      case TokenType::kFloat:
+        e->kind = ParsedExpr::Kind::kLiteral;
+        e->literal = Value::Double(t.float_value);
+        Advance();
+        return ParsedExprPtr(e);
+      case TokenType::kString:
+        e->kind = ParsedExpr::Kind::kLiteral;
+        e->literal = Value::String(t.text);
+        Advance();
+        return ParsedExprPtr(e);
+      case TokenType::kKeyword: {
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          e->kind = ParsedExpr::Kind::kLiteral;
+          e->literal = Value::Bool(t.text == "TRUE");
+          Advance();
+          return ParsedExprPtr(e);
+        }
+        if (t.text == "NULL") {
+          e->kind = ParsedExpr::Kind::kLiteral;
+          e->literal = Value::Null();
+          Advance();
+          return ParsedExprPtr(e);
+        }
+        if (t.text == "AVG" || t.text == "SUM" || t.text == "COUNT" ||
+            t.text == "MIN" || t.text == "MAX") {
+          e->kind = ParsedExpr::Kind::kFuncCall;
+          e->func = t.text;
+          Advance();
+          MAGICDB_RETURN_IF_ERROR(ExpectSymbol("("));
+          if (PeekSymbol("*")) {
+            Advance();
+            e->star = true;
+          } else {
+            MAGICDB_ASSIGN_OR_RETURN(e->arg, ParseExpr());
+          }
+          MAGICDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ParsedExprPtr(e);
+        }
+        return Err("unexpected keyword " + t.text);
+      }
+      case TokenType::kIdentifier: {
+        e->kind = ParsedExpr::Kind::kIdentifier;
+        e->parts.push_back(t.text);
+        Advance();
+        while (PeekSymbol(".")) {
+          Advance();
+          MAGICDB_ASSIGN_OR_RETURN(std::string part,
+                                   ExpectIdentifier("column name"));
+          e->parts.push_back(std::move(part));
+        }
+        return ParsedExprPtr(e);
+      }
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          MAGICDB_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
+          MAGICDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        return Err("unexpected symbol '" + t.text + "'");
+      case TokenType::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  static ParsedExprPtr MakeBinary(std::string op, ParsedExprPtr left,
+                                  ParsedExprPtr right) {
+    auto e = std::make_shared<ParsedExpr>();
+    e->kind = ParsedExpr::Kind::kBinary;
+    e->op = std::move(op);
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseTop();
+}
+
+}  // namespace magicdb

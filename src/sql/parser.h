@@ -1,0 +1,17 @@
+#ifndef MAGICDB_SQL_PARSER_H_
+#define MAGICDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/sql/ast.h"
+
+namespace magicdb {
+
+/// Parses one SQL statement (SELECT, CREATE VIEW ... AS SELECT,
+/// CREATE TABLE). Trailing semicolons are allowed.
+StatusOr<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "src/storage/index.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+void HashIndex::Insert(const Tuple& row, int64_t row_id) {
+  Tuple key = ProjectTuple(row, columns_);
+  const uint64_t h = HashTupleColumns(row, columns_);
+  std::vector<Entry>& chain = buckets_[h];
+  for (Entry& e : chain) {
+    if (CompareTuples(e.key, key) == 0) {
+      e.row_ids.push_back(row_id);
+      ++num_entries_;
+      return;
+    }
+  }
+  chain.push_back(Entry{std::move(key), {row_id}});
+  ++num_entries_;
+}
+
+std::vector<int64_t> HashIndex::Lookup(const Tuple& key) const {
+  MAGICDB_CHECK(key.size() == columns_.size());
+  std::vector<int> identity(key.size());
+  for (size_t i = 0; i < key.size(); ++i) identity[i] = static_cast<int>(i);
+  const uint64_t h = HashTupleColumns(key, identity);
+  auto it = buckets_.find(h);
+  if (it == buckets_.end()) return {};
+  for (const Entry& e : it->second) {
+    if (CompareTuples(e.key, key) == 0) return e.row_ids;
+  }
+  return {};
+}
+
+void OrderedIndex::Insert(const Tuple& row, int64_t row_id) {
+  Tuple key = ProjectTuple(row, columns_);
+  entries_[std::move(key)].push_back(row_id);
+  ++num_entries_;
+}
+
+std::vector<int64_t> OrderedIndex::Lookup(const Tuple& key) const {
+  MAGICDB_CHECK(key.size() == columns_.size());
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::vector<int64_t> OrderedIndex::Range(const Tuple& lo,
+                                         const Tuple& hi) const {
+  std::vector<int64_t> out;
+  auto begin = lo.empty() ? entries_.begin() : entries_.lower_bound(lo);
+  auto end = hi.empty() ? entries_.end() : entries_.upper_bound(hi);
+  for (auto it = begin; it != end; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+int64_t OrderedIndex::ModelledHeight() const {
+  // Model a B-tree with fanout 256; height >= 1.
+  int64_t height = 1;
+  int64_t n = num_entries_;
+  while (n > 256) {
+    n /= 256;
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,71 @@
+#ifndef MAGICDB_STORAGE_TABLE_H_
+#define MAGICDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/cost_counters.h"
+#include "src/common/status.h"
+#include "src/storage/index.h"
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+
+namespace magicdb {
+
+/// Heap table: an in-memory row store with page-granular cost accounting.
+/// Rows live in insertion order; NumPages() is the size the page-cost model
+/// charges for a full scan. Indexes built on the table are maintained on
+/// insert.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Pages this table occupies: ceil(rows * tuple_width / page_size),
+  /// minimum 1 for a non-empty table.
+  int64_t NumPages() const;
+
+  /// Appends a row. The row must match the schema arity; each value must be
+  /// NULL or of the column type (int64 accepted for double columns).
+  Status Insert(Tuple row);
+
+  /// Bulk append; stops at the first bad row.
+  Status InsertAll(std::vector<Tuple> rows);
+
+  const Tuple& row(int64_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Creates (or returns the existing) hash index on `columns` (indexes into
+  /// the schema). Existing rows are indexed immediately.
+  HashIndex* CreateHashIndex(const std::vector<int>& columns);
+
+  /// Creates (or returns the existing) ordered index on `columns`.
+  OrderedIndex* CreateOrderedIndex(const std::vector<int>& columns);
+
+  /// Returns the hash index exactly on `columns`, or nullptr.
+  const HashIndex* FindHashIndex(const std::vector<int>& columns) const;
+
+  /// Returns the ordered index exactly on `columns`, or nullptr.
+  const OrderedIndex* FindOrderedIndex(const std::vector<int>& columns) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_STORAGE_TABLE_H_

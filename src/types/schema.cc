@@ -1,0 +1,65 @@
+#include "src/types/schema.h"
+
+#include <sstream>
+
+namespace magicdb {
+
+StatusOr<int> Schema::FindColumn(const std::string& qualifier,
+                                 const std::string& name) const {
+  int found = -1;
+  for (int i = 0; i < num_columns(); ++i) {
+    const Column& c = columns_[i];
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.qualifier != qualifier) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     (qualifier.empty()
+                                          ? name
+                                          : qualifier + "." + name));
+    }
+    found = i;
+  }
+  if (found < 0) {
+    return Status::NotFound(
+        "column not found: " +
+        (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+StatusOr<int> Schema::FindColumn(const std::string& dotted) const {
+  const size_t dot = dotted.find('.');
+  if (dot == std::string::npos) return FindColumn("", dotted);
+  return FindColumn(dotted.substr(0, dot), dotted.substr(dot + 1));
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.qualifier = qualifier;
+  return Schema(std::move(cols));
+}
+
+int64_t Schema::TupleWidthBytes() const {
+  int64_t width = 0;
+  for (const Column& c : columns_) width += DataTypeWidth(c.type);
+  return width;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].QualifiedName() << " " << DataTypeName(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace magicdb

@@ -1,0 +1,76 @@
+#ifndef MAGICDB_TYPES_SCHEMA_H_
+#define MAGICDB_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/types/value.h"
+
+namespace magicdb {
+
+/// One column of a schema. `qualifier` is the table name or range-variable
+/// alias the column is reachable under ("E" in "Emp E"); it may be empty for
+/// derived columns.
+struct Column {
+  std::string qualifier;
+  std::string name;
+  DataType type = DataType::kNull;
+
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+
+  bool operator==(const Column& other) const {
+    return qualifier == other.qualifier && name == other.name &&
+           type == other.type;
+  }
+};
+
+/// Ordered list of columns describing a tuple layout. Value-semantic.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Finds the index of a column by (optionally qualified) name.
+  /// `qualifier` empty means "any qualifier, but the name must be
+  /// unambiguous". Errors: NotFound, or InvalidArgument on ambiguity.
+  StatusOr<int> FindColumn(const std::string& qualifier,
+                           const std::string& name) const;
+
+  /// Convenience overload: accepts "q.name" or "name".
+  StatusOr<int> FindColumn(const std::string& dotted) const;
+
+  /// Schema of `this` followed by `right` (join output layout).
+  Schema Concat(const Schema& right) const;
+
+  /// Schema with every column's qualifier replaced by `qualifier`
+  /// (view/table aliasing).
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  /// Sum of model widths of the column types: bytes one tuple occupies in
+  /// the page-cost model.
+  int64_t TupleWidthBytes() const;
+
+  /// "(E.did INT64, E.sal DOUBLE, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_TYPES_SCHEMA_H_

@@ -1,0 +1,193 @@
+#include "src/types/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace magicdb {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int64_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 16;  // charged average string width
+  }
+  return 8;
+}
+
+DataType Value::type() const {
+  if (std::holds_alternative<std::monostate>(data_)) return DataType::kNull;
+  if (std::holds_alternative<bool>(data_)) return DataType::kBool;
+  if (std::holds_alternative<int64_t>(data_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(data_)) return DataType::kDouble;
+  return DataType::kString;
+}
+
+bool Value::AsBool() const {
+  assert(std::holds_alternative<bool>(data_));
+  const bool* p = std::get_if<bool>(&data_);
+  return p != nullptr && *p;
+}
+
+int64_t Value::AsInt64() const {
+  assert(std::holds_alternative<int64_t>(data_));
+  const int64_t* p = std::get_if<int64_t>(&data_);
+  return p != nullptr ? *p : 0;
+}
+
+double Value::AsDouble() const {
+  assert(std::holds_alternative<double>(data_));
+  const double* p = std::get_if<double>(&data_);
+  return p != nullptr ? *p : 0.0;
+}
+
+const std::string& Value::AsString() const {
+  assert(std::holds_alternative<std::string>(data_));
+  static const std::string kEmpty;
+  const std::string* p = std::get_if<std::string>(&data_);
+  return p != nullptr ? *p : kEmpty;
+}
+
+StatusOr<double> Value::AsNumeric() const {
+  if (const int64_t* i = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  if (const double* d = std::get_if<double>(&data_)) {
+    return *d;
+  }
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+namespace {
+// Rank used to order values of different (non-coercible) types.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;  // numerics share a rank and compare by value
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const DataType lt = type();
+  const DataType rt = other.type();
+  if (lt == DataType::kNull || rt == DataType::kNull) {
+    if (lt == rt) return 0;
+    return lt == DataType::kNull ? -1 : 1;
+  }
+  const int lrank = TypeRank(lt);
+  const int rrank = TypeRank(rt);
+  if (lrank != rrank) return lrank < rrank ? -1 : 1;
+  switch (lt) {
+    case DataType::kBool: {
+      const bool a = AsBool();
+      const bool b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Both numeric; compare exactly when both int64.
+      if (lt == DataType::kInt64 && rt == DataType::kInt64) {
+        const int64_t a = AsInt64();
+        const int64_t b = other.AsInt64();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      const double a =
+          lt == DataType::kInt64 ? static_cast<double>(AsInt64()) : AsDouble();
+      const double b = rt == DataType::kInt64
+                           ? static_cast<double>(other.AsInt64())
+                           : other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kString:
+      return AsString().compare(other.AsString());
+    default:
+      return 0;
+  }
+}
+
+uint64_t Value::Hash(uint64_t seed) const {
+  switch (type()) {
+    case DataType::kNull:
+      return HashUint64(0x6e756c6cULL, seed);  // "null"
+    case DataType::kBool:
+      return HashUint64(AsBool() ? 1 : 2, seed);
+    case DataType::kInt64:
+      return HashUint64(static_cast<uint64_t>(AsInt64()), seed);
+    case DataType::kDouble: {
+      const double d = AsDouble();
+      // Integral doubles hash like the equal int64 so that 1 and 1.0 land
+      // in the same hash bucket (they compare equal).
+      if (std::floor(d) == d && std::abs(d) < 9.2e18) {
+        return HashUint64(static_cast<uint64_t>(static_cast<int64_t>(d)),
+                          seed);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return HashUint64(bits, seed);
+    }
+    case DataType::kString:
+      return HashString(AsString(), seed);
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+int64_t Value::ByteWidth() const {
+  if (type() == DataType::kString) {
+    return static_cast<int64_t>(AsString().size()) + 4;
+  }
+  return DataTypeWidth(type());
+}
+
+}  // namespace magicdb

@@ -1,0 +1,86 @@
+#ifndef MAGICDB_TYPES_VALUE_H_
+#define MAGICDB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/hash.h"
+#include "src/common/statusor.h"
+
+namespace magicdb {
+
+/// Column data types supported by the engine.
+enum class DataType {
+  kNull = 0,  // type of an untyped NULL literal
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// Width in bytes a value of `type` occupies in the page-cost model.
+/// Strings are charged at a fixed average width.
+int64_t DataTypeWidth(DataType type);
+
+/// Runtime value: a tagged union over the supported data types plus NULL.
+/// Values are small and copyable; strings use std::string storage.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  DataType type() const;
+
+  /// Typed accessors; calling with the wrong type is a programming error
+  /// (asserted in debug builds, returns a default in release).
+  bool AsBool() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: int64 and double both coerce to double. Fails on other
+  /// types.
+  StatusOr<double> AsNumeric() const;
+
+  /// SQL-style three-valued comparison is handled in the expression layer;
+  /// here NULLs compare equal to NULLs and before all non-NULLs, giving a
+  /// total order usable for sorting and grouping.
+  /// Returns <0, 0, >0. Numeric types compare cross-type (1 == 1.0).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with Compare()==0 across numeric types: integral-valued
+  /// doubles hash like the corresponding int64.
+  uint64_t Hash(uint64_t seed = 0xcbf29ce484222325ULL) const;
+
+  /// SQL-ish rendering: NULL, true/false, numbers, 'strings'.
+  std::string ToString() const;
+
+  /// Width in bytes charged to this value by the page-cost model.
+  int64_t ByteWidth() const;
+
+ private:
+  using Rep =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : data_(std::move(rep)) {}
+
+  Rep data_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_TYPES_VALUE_H_

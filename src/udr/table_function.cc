@@ -1,0 +1,11 @@
+#include "src/udr/table_function.h"
+
+#include "src/common/cost_counters.h"
+
+namespace magicdb {
+
+double TableFunction::PerInvocationCost() const {
+  return CostConstants::kFunctionInvokeCost;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/hash.h"
+#include "src/common/random.h"
+
+namespace magicdb {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(4096, 5);
+  Random rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(rng.NextUint64());
+  for (uint64_t k : keys) f.Add(k);
+  for (uint64_t k : keys) EXPECT_TRUE(f.MayContain(k));
+}
+
+TEST(BloomFilterTest, FalsePositivesBounded) {
+  BloomFilter f = BloomFilter::ForExpectedKeys(1000, 0.01);
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) f.Add(HashUint64(i));
+  int fp = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.MayContain(HashUint64(1000000 + i))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.03);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter f(1024, 4);
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(f.MayContain(rng.NextUint64()));
+  }
+}
+
+TEST(BloomFilterTest, SizingRoundsUp) {
+  BloomFilter f(1, 1);
+  EXPECT_EQ(f.num_bits(), 64);
+  BloomFilter g(65, 1);
+  EXPECT_EQ(g.num_bits(), 128);
+}
+
+TEST(BloomFilterTest, HashCountClamped) {
+  BloomFilter f(64, 100);
+  EXPECT_LE(f.num_hashes(), 16);
+  BloomFilter g(64, 0);
+  EXPECT_GE(g.num_hashes(), 1);
+}
+
+TEST(BloomFilterTest, ForExpectedKeysHitsTargetRate) {
+  BloomFilter f = BloomFilter::ForExpectedKeys(500, 0.05);
+  for (int i = 0; i < 500; ++i) f.Add(HashUint64(i * 7919));
+  EXPECT_NEAR(f.EstimatedFalsePositiveRate(), 0.05, 0.04);
+}
+
+TEST(BloomFilterTest, SizeBytesMatchesBits) {
+  BloomFilter f(4096, 3);
+  EXPECT_EQ(f.SizeBytes(), 4096 / 8);
+}
+
+TEST(BloomFilterTest, SaturatedFilterApproachesAllPositive) {
+  BloomFilter f(64, 2);
+  Random rng(4);
+  for (int i = 0; i < 1000; ++i) f.Add(rng.NextUint64());
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f.MayContain(rng.NextUint64())) ++hits;
+  }
+  EXPECT_GT(hits, 90);
+  EXPECT_GT(f.EstimatedFalsePositiveRate(), 0.9);
+}
+
+}  // namespace
+}  // namespace magicdb

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/common/logging.h"
+
+namespace magicdb {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"", "did", DataType::kInt64},
+                 {"", "sal", DataType::kDouble},
+                 {"", "age", DataType::kInt64}});
+}
+
+TEST(CatalogTest, CreateAndLookupTable) {
+  Catalog cat;
+  auto t = cat.CreateTable("Emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  auto entry = cat.Lookup("Emp");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->kind, CatalogEntry::Kind::kBaseTable);
+  EXPECT_EQ((*entry)->table, *t);
+  EXPECT_FALSE((*entry)->IsVirtual());
+  EXPECT_EQ((*entry)->schema.column(0).qualifier, "Emp");
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("Emp", EmpSchema()).ok());
+  EXPECT_EQ(cat.CreateTable("Emp", EmpSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, LookupMissing) {
+  Catalog cat;
+  EXPECT_EQ(cat.Lookup("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RemoteTableIsVirtualWithSite) {
+  Catalog cat;
+  auto t = cat.CreateRemoteTable("RemoteEmp", EmpSchema(), 2);
+  ASSERT_TRUE(t.ok());
+  auto entry = cat.Lookup("RemoteEmp");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->kind, CatalogEntry::Kind::kRemoteTable);
+  EXPECT_EQ((*entry)->site, 2);
+  EXPECT_TRUE((*entry)->IsVirtual());
+}
+
+TEST(CatalogTest, RemoteSiteMustBePositive) {
+  Catalog cat;
+  EXPECT_FALSE(cat.CreateRemoteTable("R", EmpSchema(), 0).ok());
+  EXPECT_FALSE(cat.CreateRemoteTable("R", EmpSchema(), -1).ok());
+}
+
+TEST(CatalogTest, RegisterViewRequalifiesSchema) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("Emp", EmpSchema()).ok());
+  auto entry = cat.Lookup("Emp");
+  auto scan = std::make_shared<RelScanNode>("Emp", "E",
+                                            (*entry)->schema.WithQualifier("E"));
+  ASSERT_TRUE(cat.RegisterView("V", scan).ok());
+  auto view = cat.Lookup("V");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->kind, CatalogEntry::Kind::kView);
+  EXPECT_TRUE((*view)->IsVirtual());
+  EXPECT_EQ((*view)->schema.column(0).qualifier, "V");
+  EXPECT_NE((*view)->view_plan, nullptr);
+}
+
+TEST(CatalogTest, RegisterFunction) {
+  Catalog cat;
+  Schema args({{"", "x", DataType::kInt64}});
+  Schema results({{"", "y", DataType::kInt64}});
+  auto fn = std::make_unique<LambdaTableFunction>(
+      "fn", args, results, [](const Tuple&, std::vector<Tuple>* out) {
+        out->push_back({Value::Int64(1)});
+        return Status::OK();
+      });
+  ASSERT_TRUE(cat.RegisterFunction(std::move(fn)).ok());
+  auto entry = cat.Lookup("fn");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->kind, CatalogEntry::Kind::kTableFunction);
+  EXPECT_EQ((*entry)->schema.num_columns(), 2);  // args ++ results
+  EXPECT_TRUE((*entry)->IsVirtual());
+}
+
+TEST(CatalogTest, AnalyzeComputesStats) {
+  Catalog cat;
+  auto t = cat.CreateTable("Emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 50; ++i) {
+    MAGICDB_CHECK_OK((*t)->Insert({Value::Int64(i % 5), Value::Double(i),
+                                   Value::Int64(20 + i % 10)}));
+  }
+  ASSERT_TRUE(cat.Analyze("Emp").ok());
+  auto entry = cat.Lookup("Emp");
+  EXPECT_TRUE((*entry)->stats_valid);
+  EXPECT_EQ((*entry)->stats.num_rows, 50);
+  EXPECT_EQ((*entry)->stats.columns[0].num_distinct, 5);
+}
+
+TEST(CatalogTest, AnalyzeViewFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("Emp", EmpSchema()).ok());
+  auto entry = cat.Lookup("Emp");
+  auto scan = std::make_shared<RelScanNode>(
+      "Emp", "E", (*entry)->schema.WithQualifier("E"));
+  ASSERT_TRUE(cat.RegisterView("V", scan).ok());
+  EXPECT_FALSE(cat.Analyze("V").ok());
+}
+
+TEST(CatalogTest, AnalyzeAllCoversStoredRelations) {
+  Catalog cat;
+  auto a = cat.CreateTable("A", EmpSchema());
+  auto b = cat.CreateRemoteTable("B", EmpSchema(), 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  MAGICDB_CHECK_OK(
+      (*a)->Insert({Value::Int64(1), Value::Double(1), Value::Int64(30)}));
+  ASSERT_TRUE(cat.AnalyzeAll().ok());
+  EXPECT_TRUE((*cat.Lookup("A"))->stats_valid);
+  EXPECT_TRUE((*cat.Lookup("B"))->stats_valid);
+}
+
+TEST(CatalogTest, RelationNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("B", EmpSchema()).ok());
+  ASSERT_TRUE(cat.CreateTable("A", EmpSchema()).ok());
+  auto names = cat.RelationNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[1], "B");
+}
+
+TEST(LogicalPlanTest, TreePrinting) {
+  Schema s({{"E", "did", DataType::kInt64}});
+  auto scan = std::make_shared<RelScanNode>("Emp", "E", s);
+  auto filter = std::make_shared<FilterNode>(
+      scan, MakeComparison(CompareOp::kLt,
+                           MakeColumnRef(0, DataType::kInt64, "E.did"),
+                           MakeLiteral(Value::Int64(5))));
+  std::string tree = filter->ToString();
+  EXPECT_NE(tree.find("Filter"), std::string::npos);
+  EXPECT_NE(tree.find("Scan Emp AS E"), std::string::npos);
+}
+
+TEST(LogicalPlanTest, AggSpecResultTypes) {
+  AggSpec count_star{AggFunc::kCountStar, nullptr, "c"};
+  EXPECT_EQ(count_star.ResultType(), DataType::kInt64);
+  AggSpec avg{AggFunc::kAvg, MakeColumnRef(0, DataType::kInt64), "a"};
+  EXPECT_EQ(avg.ResultType(), DataType::kDouble);
+  AggSpec sum_int{AggFunc::kSum, MakeColumnRef(0, DataType::kInt64), "s"};
+  EXPECT_EQ(sum_int.ResultType(), DataType::kInt64);
+  AggSpec sum_dbl{AggFunc::kSum, MakeColumnRef(0, DataType::kDouble), "s"};
+  EXPECT_EQ(sum_dbl.ResultType(), DataType::kDouble);
+  AggSpec mx{AggFunc::kMax, MakeColumnRef(0, DataType::kString), "m"};
+  EXPECT_EQ(mx.ResultType(), DataType::kString);
+}
+
+}  // namespace
+}  // namespace magicdb

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/cost_counters.h"
+#include "src/common/hash.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/statusor.h"
+
+namespace magicdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table Emp");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table Emp");
+  EXPECT_EQ(s.ToString(), "NotFound: table Emp");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  MAGICDB_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+StatusOr<int> DoubleOf(int x) {
+  MAGICDB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, ValuePath) {
+  StatusOr<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 21);
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(StatusOrTest, ErrorPath) {
+  StatusOr<int> r = ParsePositive(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  StatusOr<int> good = DoubleOf(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 10);
+  StatusOr<int> bad = DoubleOf(-5);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StatusOrTest, MoveOnlyFriendly) {
+  StatusOr<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformIntWithinRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversRange) {
+  Random r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(HashTest, StableAndSeedSensitive) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString("abc", 1), HashString("abc", 2));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(CostCountersTest, TotalCostWeightsComponents) {
+  CostCounters c;
+  c.pages_read = 10;
+  c.pages_written = 5;
+  EXPECT_DOUBLE_EQ(c.TotalCost(), 15.0);
+  c.tuples_processed = 100;
+  EXPECT_DOUBLE_EQ(c.TotalCost(), 15.0 + 100 * CostConstants::kCpuTupleCost);
+}
+
+TEST(CostCountersTest, AccumulateAndDelta) {
+  CostCounters a, b;
+  a.pages_read = 3;
+  a.messages_sent = 2;
+  b.pages_read = 1;
+  b.tuples_processed = 10;
+  a += b;
+  EXPECT_EQ(a.pages_read, 4);
+  EXPECT_EQ(a.tuples_processed, 10);
+  EXPECT_EQ(a.messages_sent, 2);
+
+  CostCounters before = a;
+  a.pages_read += 7;
+  a.bytes_shipped += 100;
+  CostCounters d = a.Delta(before);
+  EXPECT_EQ(d.pages_read, 7);
+  EXPECT_EQ(d.bytes_shipped, 100);
+  EXPECT_EQ(d.tuples_processed, 0);
+}
+
+TEST(CostCountersTest, ResetClearsAll) {
+  CostCounters c;
+  c.pages_read = 5;
+  c.function_invocations = 3;
+  c.Reset();
+  EXPECT_EQ(c.pages_read, 0);
+  EXPECT_EQ(c.function_invocations, 0);
+  EXPECT_DOUBLE_EQ(c.TotalCost(), 0.0);
+}
+
+TEST(CostCountersTest, ToStringMentionsTotals) {
+  CostCounters c;
+  c.pages_read = 2;
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("pages_read=2"), std::string::npos);
+  EXPECT_NE(s.find("total_cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magicdb

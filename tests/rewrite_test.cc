@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/rewrite/magic_rewrite.h"
+
+namespace magicdb {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"E", "did", DataType::kInt64},
+                 {"E", "sal", DataType::kDouble},
+                 {"E", "age", DataType::kInt64}});
+}
+
+LogicalPtr EmpScan() {
+  return std::make_shared<RelScanNode>("Emp", "E", EmpSchema());
+}
+
+/// DepAvgSal: SELECT did, AVG(sal) FROM Emp GROUP BY did.
+LogicalPtr DepAvgSalPlan() {
+  auto scan = EmpScan();
+  std::vector<ExprPtr> groups = {MakeColumnRef(0, DataType::kInt64, "E.did")};
+  std::vector<AggSpec> aggs = {
+      {AggFunc::kAvg, MakeColumnRef(1, DataType::kDouble, "E.sal"), "avgsal"}};
+  Schema out({{"", "did", DataType::kInt64}, {"", "avgsal", DataType::kDouble}});
+  return std::make_shared<AggregateNode>(scan, groups, aggs, out);
+}
+
+TEST(MagicRewriteTest, PushesBelowAggregateOnGroupKey) {
+  auto rewritten = MagicRewrite(DepAvgSalPlan(), {0}, "fs1");
+  ASSERT_TRUE(rewritten.ok());
+  // Probe lands below the aggregate, directly above the scan.
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kAggregate);
+  ASSERT_EQ((*rewritten)->children().size(), 1u);
+  const LogicalPtr& below = (*rewritten)->children()[0];
+  EXPECT_EQ(below->kind(), LogicalKind::kFilterSetProbe);
+  const auto* probe = static_cast<const FilterSetProbeNode*>(below.get());
+  EXPECT_EQ(probe->binding_id(), "fs1");
+  EXPECT_EQ(probe->key_columns(), (std::vector<int>{0}));
+  EXPECT_EQ(ProbeDepth(*rewritten), 1);
+}
+
+TEST(MagicRewriteTest, StopsAtAggregateWhenKeyIsAggOutput) {
+  // Key column 1 is AVG(sal) — not a group-by column; probe must stay above.
+  auto rewritten = MagicRewrite(DepAvgSalPlan(), {1}, "fs2");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kFilterSetProbe);
+  EXPECT_EQ(ProbeDepth(*rewritten), 0);
+}
+
+TEST(MagicRewriteTest, PushesThroughProjectColumnRefs) {
+  auto scan = EmpScan();
+  std::vector<ExprPtr> exprs = {MakeColumnRef(2, DataType::kInt64, "E.age"),
+                                MakeColumnRef(0, DataType::kInt64, "E.did")};
+  Schema out({{"", "age", DataType::kInt64}, {"", "did", DataType::kInt64}});
+  auto proj = std::make_shared<ProjectNode>(scan, exprs, out);
+  auto rewritten = MagicRewrite(LogicalPtr(proj), {1}, "fs3");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kProject);
+  const auto* probe = static_cast<const FilterSetProbeNode*>(
+      (*rewritten)->children()[0].get());
+  ASSERT_EQ(probe->kind(), LogicalKind::kFilterSetProbe);
+  // Output column 1 maps to scan column 0 (did).
+  EXPECT_EQ(probe->key_columns(), (std::vector<int>{0}));
+}
+
+TEST(MagicRewriteTest, StopsAtProjectOnComputedColumn) {
+  auto scan = EmpScan();
+  std::vector<ExprPtr> exprs = {
+      MakeArithmetic(ArithOp::kAdd, MakeColumnRef(0, DataType::kInt64),
+                     MakeLiteral(Value::Int64(1)))};
+  Schema out({{"", "did1", DataType::kInt64}});
+  auto proj = std::make_shared<ProjectNode>(scan, exprs, out);
+  auto rewritten = MagicRewrite(LogicalPtr(proj), {0}, "fs4");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kFilterSetProbe);
+}
+
+TEST(MagicRewriteTest, PushesThroughFilterAndDistinct) {
+  auto scan = EmpScan();
+  auto filter = std::make_shared<FilterNode>(
+      scan, MakeComparison(CompareOp::kLt,
+                           MakeColumnRef(2, DataType::kInt64, "E.age"),
+                           MakeLiteral(Value::Int64(30))));
+  auto distinct = std::make_shared<DistinctNode>(filter);
+  auto rewritten = MagicRewrite(LogicalPtr(distinct), {0}, "fs5");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kDistinct);
+  EXPECT_EQ(ProbeDepth(*rewritten), 2);  // below Distinct and Filter
+}
+
+TEST(MagicRewriteTest, PushesIntoJoinInputOwningKeys) {
+  Schema dept({{"D", "did", DataType::kInt64},
+               {"D", "budget", DataType::kDouble}});
+  auto emp = EmpScan();
+  auto dscan = std::make_shared<RelScanNode>("Dept", "D", dept);
+  Schema block = emp->schema().Concat(dept);
+  ExprPtr pred = MakeComparison(CompareOp::kEq,
+                                MakeColumnRef(0, DataType::kInt64, "E.did"),
+                                MakeColumnRef(3, DataType::kInt64, "D.did"));
+  auto join = std::make_shared<NaryJoinNode>(
+      std::vector<LogicalPtr>{emp, dscan}, pred, block);
+  // Key = block column 4 (D.budget) — owned by input D.
+  auto rewritten = MagicRewrite(LogicalPtr(join), {4}, "fs6");
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_EQ((*rewritten)->kind(), LogicalKind::kNaryJoin);
+  const auto& inputs = (*rewritten)->children();
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0]->kind(), LogicalKind::kRelScan);
+  ASSERT_EQ(inputs[1]->kind(), LogicalKind::kFilterSetProbe);
+  const auto* probe =
+      static_cast<const FilterSetProbeNode*>(inputs[1].get());
+  EXPECT_EQ(probe->key_columns(), (std::vector<int>{1}));  // budget in D
+}
+
+TEST(MagicRewriteTest, ProbesAtJoinWhenKeysSpanInputs) {
+  Schema dept({{"D", "did", DataType::kInt64},
+               {"D", "budget", DataType::kDouble}});
+  auto emp = EmpScan();
+  auto dscan = std::make_shared<RelScanNode>("Dept", "D", dept);
+  Schema block = emp->schema().Concat(dept);
+  auto join = std::make_shared<NaryJoinNode>(
+      std::vector<LogicalPtr>{emp, dscan}, nullptr, block);
+  auto rewritten = MagicRewrite(LogicalPtr(join), {0, 4}, "fs7");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind(), LogicalKind::kFilterSetProbe);
+}
+
+TEST(MagicRewriteTest, SchemaUnchanged) {
+  auto plan = DepAvgSalPlan();
+  auto rewritten = MagicRewrite(plan, {0}, "fs8");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->schema(), plan->schema());
+}
+
+TEST(MagicRewriteTest, RejectsBadInputs) {
+  EXPECT_FALSE(MagicRewrite(nullptr, {0}, "x").ok());
+  EXPECT_FALSE(MagicRewrite(DepAvgSalPlan(), {}, "x").ok());
+  EXPECT_FALSE(MagicRewrite(DepAvgSalPlan(), {7}, "x").ok());
+}
+
+TEST(MagicRewriteTest, MultiKeyPushdown) {
+  auto scan = EmpScan();
+  auto rewritten = MagicRewrite(scan, {0, 2}, "fs9");
+  ASSERT_TRUE(rewritten.ok());
+  const auto* probe =
+      static_cast<const FilterSetProbeNode*>((*rewritten).get());
+  ASSERT_EQ(probe->kind(), LogicalKind::kFilterSetProbe);
+  EXPECT_EQ(probe->key_columns(), (std::vector<int>{0, 2}));
+}
+
+}  // namespace
+}  // namespace magicdb

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace magicdb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a >= 1.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Tokenize("42 3.14 1e3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 3.14);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 1000.0);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Tokenize("a <> b <= c >= d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<=");
+  EXPECT_EQ((*tokens)[5].text, ">=");
+  EXPECT_EQ((*tokens)[7].text, "!=");
+}
+
+TEST(LexerTest, BadCharacterFails) { EXPECT_FALSE(Tokenize("a @ b").ok()); }
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT a, b FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSelect);
+  ASSERT_EQ(stmt->select->items.size(), 2u);
+  EXPECT_EQ(stmt->select->from[0].name, "t");
+  EXPECT_EQ(stmt->select->from[0].alias, "t");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = ParseStatement("SELECT E.did AS d, E.sal s FROM Emp E");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->items[0].alias, "d");
+  EXPECT_EQ(stmt->select->items[1].alias, "s");
+  EXPECT_EQ(stmt->select->from[0].alias, "E");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto stmt =
+      ParseStatement("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // OR is the root; AND binds tighter.
+  const ParsedExpr& w = *stmt->select->where;
+  EXPECT_EQ(w.kind, ParsedExpr::Kind::kBinary);
+  EXPECT_EQ(w.op, "OR");
+  EXPECT_EQ(w.right->op, "AND");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseStatement("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const ParsedExpr& e = *stmt->select->items[0].expr;
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.right->op, "*");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = ParseStatement("SELECT (a + b) * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->op, "*");
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = ParseStatement(
+      "SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did "
+      "HAVING COUNT(*) > 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->group_by.size(), 1u);
+  ASSERT_NE(stmt->select->having, nullptr);
+  EXPECT_EQ(stmt->select->items[1].expr->kind, ParsedExpr::Kind::kFuncCall);
+  EXPECT_EQ(stmt->select->items[1].expr->func, "AVG");
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseStatement("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->items[0].expr->star);
+}
+
+TEST(ParserTest, OrderByLimitDistinct) {
+  auto stmt = ParseStatement(
+      "SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 7");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->select->distinct);
+  ASSERT_EQ(stmt->select->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->select->order_by[0].ascending);
+  EXPECT_TRUE(stmt->select->order_by[1].ascending);
+  EXPECT_EQ(stmt->select->limit, 7);
+}
+
+TEST(ParserTest, Between) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->op, "AND");
+  EXPECT_EQ(stmt->select->where->left->op, ">=");
+  EXPECT_EQ(stmt->select->where->right->op, "<=");
+}
+
+TEST(ParserTest, CreateView) {
+  auto stmt = ParseStatement(
+      "CREATE VIEW V AS SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY "
+      "did");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCreateView);
+  EXPECT_EQ(stmt->name, "V");
+  ASSERT_NE(stmt->select, nullptr);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE Emp (did INT, sal DOUBLE, name VARCHAR(20), ok BOOL)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt->columns.size(), 4u);
+  EXPECT_EQ(stmt->columns[0].type, DataType::kInt64);
+  EXPECT_EQ(stmt->columns[1].type, DataType::kDouble);
+  EXPECT_EQ(stmt->columns[2].type, DataType::kString);
+  EXPECT_EQ(stmt->columns[3].type, DataType::kBool);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->items[0].star);
+}
+
+TEST(ParserTest, QualifiedIdentifiers) {
+  auto stmt = ParseStatement("SELECT E.did FROM Emp E WHERE E.did = D.did");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->parts,
+            (std::vector<std::string>{"E", "did"}));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a").ok());           // missing FROM
+  EXPECT_FALSE(ParseStatement("SELECT a FROM").ok());      // missing table
+  EXPECT_FALSE(ParseStatement("FROM t SELECT a").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra garbage (").ok());
+  EXPECT_FALSE(ParseStatement("CREATE NONSENSE x").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE (a = 1").ok());
+}
+
+TEST(ParserTest, InList) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  // Desugars to (a=1 OR a=2) OR a=3.
+  const ParsedExpr& w = *stmt->select->where;
+  EXPECT_EQ(w.op, "OR");
+  EXPECT_EQ(w.right->op, "=");
+  EXPECT_EQ(w.left->op, "OR");
+}
+
+TEST(ParserTest, InListSingleElement) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a IN (7)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->op, "=");
+}
+
+TEST(ParserTest, NotInList) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE NOT a IN (1, 2)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->where->kind, ParsedExpr::Kind::kUnary);
+  EXPECT_EQ(stmt->select->where->op, "NOT");
+}
+
+TEST(ParserTest, InListErrors) {
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a IN (1,").ok());
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  auto stmt = ParseStatement("SELECT -a FROM t WHERE a > -5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->kind, ParsedExpr::Kind::kUnary);
+  EXPECT_EQ(stmt->select->items[0].expr->op, "-");
+}
+
+}  // namespace
+}  // namespace magicdb

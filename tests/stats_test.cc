@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table_stats.h"
+
+namespace magicdb {
+namespace {
+
+TEST(HistogramTest, EmptyInput) {
+  auto h = EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.FractionBelow(10), 0.0);
+}
+
+TEST(HistogramTest, UniformFractionBelow) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(i);
+  auto h = EquiDepthHistogram::Build(vals, 16);
+  EXPECT_NEAR(h.FractionBelow(500), 0.5, 0.05);
+  EXPECT_NEAR(h.FractionBelow(250), 0.25, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(10000), 1.0);
+}
+
+TEST(HistogramTest, FractionBetween) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(i);
+  auto h = EquiDepthHistogram::Build(vals, 16);
+  EXPECT_NEAR(h.FractionBetween(100, 300), 0.2, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionBetween(300, 100), 0.0);
+}
+
+TEST(HistogramTest, FractionEqualOnSkewedData) {
+  // 900 copies of 5, plus 100 distinct values.
+  std::vector<double> vals(900, 5.0);
+  for (int i = 0; i < 100; ++i) vals.push_back(100 + i);
+  auto h = EquiDepthHistogram::Build(vals, 16);
+  EXPECT_GT(h.FractionEqual(5.0), 0.5);
+  EXPECT_LT(h.FractionEqual(150.0), 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(-3), 0.0);
+}
+
+TEST(HistogramTest, EqualValuesNeverStraddleBuckets) {
+  std::vector<double> vals(100, 7.0);
+  auto h = EquiDepthHistogram::Build(vals, 10);
+  EXPECT_EQ(h.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(7.0), 1.0);
+}
+
+TEST(HistogramTest, MinMax) {
+  auto h = EquiDepthHistogram::Build({3.0, 1.0, 2.0}, 4);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(TableStatsTest, AnalyzeBasics) {
+  Schema s({{"t", "a", DataType::kInt64}, {"t", "name", DataType::kString}});
+  Table t("t", s);
+  for (int i = 0; i < 100; ++i) {
+    MAGICDB_CHECK_OK(t.Insert(
+        {Value::Int64(i % 10), Value::String("n" + std::to_string(i % 4))}));
+  }
+  TableStats st = TableStats::Analyze(t);
+  EXPECT_EQ(st.num_rows, 100);
+  EXPECT_EQ(st.num_pages, t.NumPages());
+  ASSERT_EQ(st.columns.size(), 2u);
+  EXPECT_EQ(st.columns[0].num_distinct, 10);
+  EXPECT_EQ(st.columns[1].num_distinct, 4);
+  EXPECT_TRUE(st.columns[0].numeric);
+  EXPECT_FALSE(st.columns[1].numeric);
+  EXPECT_DOUBLE_EQ(st.columns[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(st.columns[0].max, 9.0);
+}
+
+TEST(TableStatsTest, NullFraction) {
+  Schema s({{"t", "a", DataType::kInt64}});
+  Table t("t", s);
+  for (int i = 0; i < 10; ++i) {
+    MAGICDB_CHECK_OK(
+        t.Insert({i < 3 ? Value::Null() : Value::Int64(i)}));
+  }
+  TableStats st = TableStats::Analyze(t);
+  EXPECT_DOUBLE_EQ(st.columns[0].null_fraction, 0.3);
+  EXPECT_EQ(st.columns[0].num_distinct, 7);
+}
+
+TEST(TableStatsTest, EmptyTable) {
+  Schema s({{"t", "a", DataType::kInt64}});
+  Table t("t", s);
+  TableStats st = TableStats::Analyze(t);
+  EXPECT_EQ(st.num_rows, 0);
+  EXPECT_EQ(st.columns[0].num_distinct, 0);
+  EXPECT_FALSE(st.columns[0].numeric);
+}
+
+TEST(YaoTest, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(YaoEstimate(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(YaoEstimate(100, 10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(YaoEstimate(100, 10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(YaoEstimate(100, 10, 200), 10.0);
+}
+
+TEST(YaoTest, MonotoneInSampleSize) {
+  double prev = 0;
+  for (int k = 1; k <= 100; k += 10) {
+    double d = YaoEstimate(1000, 50, k);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(YaoTest, NeverExceedsDistinctOrSample) {
+  for (int k = 1; k < 200; k += 7) {
+    double d = YaoEstimate(200, 40, k);
+    EXPECT_LE(d, 40.0 + 1e-9);
+    EXPECT_LE(d, static_cast<double>(k) + 1e-9);
+    EXPECT_GT(d, 0.0);
+  }
+}
+
+TEST(YaoTest, MatchesSimulation) {
+  // Empirical check: sample k of n rows with d distinct values and compare
+  // observed distinct counts against the formula.
+  const int64_t n = 1000, d = 50, k = 100;
+  Random rng(77);
+  double total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    // Sample k row indexes without replacement (partial Fisher-Yates).
+    std::vector<int> rows(n);
+    for (int i = 0; i < n; ++i) rows[i] = i;
+    std::vector<bool> seen(d, false);
+    int distinct = 0;
+    for (int i = 0; i < k; ++i) {
+      const int j = i + static_cast<int>(rng.Uniform(n - i));
+      std::swap(rows[i], rows[j]);
+      const int value = rows[i] % d;
+      if (!seen[value]) {
+        seen[value] = true;
+        ++distinct;
+      }
+    }
+    total += distinct;
+  }
+  const double observed = total / trials;
+  const double predicted = YaoEstimate(n, d, k);
+  EXPECT_NEAR(observed, predicted, 2.0);
+}
+
+}  // namespace
+}  // namespace magicdb

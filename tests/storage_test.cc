@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/storage/index.h"
+#include "src/storage/table.h"
+
+namespace magicdb {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Emp", "did", DataType::kInt64},
+                 {"Emp", "sal", DataType::kDouble},
+                 {"Emp", "age", DataType::kInt64}});
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("Emp", EmpSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int64(1), Value::Double(100.0), Value::Int64(25)})
+          .ok());
+  EXPECT_EQ(t.NumRows(), 1);
+  EXPECT_EQ(t.row(0)[0], Value::Int64(1));
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("Emp", EmpSchema());
+  Status s = t.Insert({Value::Int64(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.NumRows(), 0);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t("Emp", EmpSchema());
+  Status s = t.Insert(
+      {Value::String("x"), Value::Double(1.0), Value::Int64(30)});
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST(TableTest, IntAcceptedIntoDoubleColumnAndNormalized) {
+  Table t("Emp", EmpSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int64(1), Value::Int64(100), Value::Int64(25)}).ok());
+  EXPECT_EQ(t.row(0)[1].type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(t.row(0)[1].AsDouble(), 100.0);
+}
+
+TEST(TableTest, NullAcceptedAnywhere) {
+  Table t("Emp", EmpSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, PageCountTracksBytes) {
+  Table t("Emp", EmpSchema());
+  EXPECT_EQ(t.NumPages(), 0);
+  // Tuple width = 8 + 8 + 8 = 24 bytes; 4096/24 = 170 rows/page.
+  for (int i = 0; i < 171; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int64(i), Value::Double(i), Value::Int64(i)}).ok());
+  }
+  EXPECT_EQ(t.NumPages(), 2);  // 171*24 = 4104 bytes -> 2 pages
+}
+
+TEST(TableTest, InsertAllStopsOnBadRow) {
+  Table t("Emp", EmpSchema());
+  std::vector<Tuple> rows;
+  rows.push_back({Value::Int64(1), Value::Double(1), Value::Int64(1)});
+  rows.push_back({Value::Int64(2)});  // bad arity
+  EXPECT_FALSE(t.InsertAll(std::move(rows)).ok());
+  EXPECT_EQ(t.NumRows(), 1);
+}
+
+TEST(HashIndexTest, LookupFindsAllDuplicates) {
+  Table t("Emp", EmpSchema());
+  HashIndex* idx = t.CreateHashIndex({0});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int64(i % 3), Value::Double(i),
+                          Value::Int64(20 + i)})
+                    .ok());
+  }
+  std::vector<int64_t> hits = idx->Lookup({Value::Int64(1)});
+  // Rows 1, 4, 7 have did=1.
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 4, 7}));
+  EXPECT_TRUE(idx->Lookup({Value::Int64(99)}).empty());
+}
+
+TEST(HashIndexTest, BuildsOverExistingRows) {
+  Table t("Emp", EmpSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int64(5), Value::Double(1), Value::Int64(30)}).ok());
+  HashIndex* idx = t.CreateHashIndex({0});
+  EXPECT_EQ(idx->Lookup({Value::Int64(5)}).size(), 1u);
+}
+
+TEST(HashIndexTest, MultiColumnKey) {
+  Table t("Emp", EmpSchema());
+  HashIndex* idx = t.CreateHashIndex({0, 2});
+  ASSERT_TRUE(
+      t.Insert({Value::Int64(1), Value::Double(10), Value::Int64(30)}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Int64(1), Value::Double(20), Value::Int64(40)}).ok());
+  EXPECT_EQ(idx->Lookup({Value::Int64(1), Value::Int64(30)}).size(), 1u);
+  EXPECT_EQ(idx->Lookup({Value::Int64(1), Value::Int64(99)}).size(), 0u);
+}
+
+TEST(HashIndexTest, CreateIsIdempotent) {
+  Table t("Emp", EmpSchema());
+  HashIndex* a = t.CreateHashIndex({0});
+  HashIndex* b = t.CreateHashIndex({0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.FindHashIndex({0}), a);
+  EXPECT_EQ(t.FindHashIndex({1}), nullptr);
+}
+
+TEST(OrderedIndexTest, EqualityLookup) {
+  Table t("Emp", EmpSchema());
+  OrderedIndex* idx = t.CreateOrderedIndex({2});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int64(i), Value::Double(i),
+                          Value::Int64(20 + (i % 2))})
+                    .ok());
+  }
+  EXPECT_EQ(idx->Lookup({Value::Int64(20)}).size(), 3u);
+  EXPECT_EQ(idx->Lookup({Value::Int64(21)}).size(), 2u);
+}
+
+TEST(OrderedIndexTest, RangeScanOrdered) {
+  Table t("Emp", EmpSchema());
+  OrderedIndex* idx = t.CreateOrderedIndex({0});
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int64(i), Value::Double(i), Value::Int64(30)}).ok());
+  }
+  std::vector<int64_t> hits =
+      idx->Range({Value::Int64(3)}, {Value::Int64(6)});
+  ASSERT_EQ(hits.size(), 4u);
+  // Returned in key order 3,4,5,6; rows were inserted in reverse.
+  EXPECT_EQ(t.row(hits[0])[0], Value::Int64(3));
+  EXPECT_EQ(t.row(hits[3])[0], Value::Int64(6));
+}
+
+TEST(OrderedIndexTest, OpenEndedRanges) {
+  Table t("Emp", EmpSchema());
+  OrderedIndex* idx = t.CreateOrderedIndex({0});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int64(i), Value::Double(i), Value::Int64(30)}).ok());
+  }
+  EXPECT_EQ(idx->Range({}, {Value::Int64(4)}).size(), 5u);
+  EXPECT_EQ(idx->Range({Value::Int64(8)}, {}).size(), 2u);
+  EXPECT_EQ(idx->Range({}, {}).size(), 10u);
+}
+
+TEST(OrderedIndexTest, ModelledHeightGrowsSlowly) {
+  OrderedIndex idx({0});
+  for (int i = 0; i < 10; ++i) {
+    idx.Insert({Value::Int64(i)}, i);
+  }
+  EXPECT_EQ(idx.ModelledHeight(), 1);
+  for (int i = 10; i < 1000; ++i) {
+    idx.Insert({Value::Int64(i)}, i);
+  }
+  EXPECT_EQ(idx.ModelledHeight(), 2);
+}
+
+}  // namespace
+}  // namespace magicdb

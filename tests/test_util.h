@@ -1,0 +1,34 @@
+#ifndef MAGICDB_TESTS_TEST_UTIL_H_
+#define MAGICDB_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/types/tuple.h"
+
+namespace magicdb::testutil {
+
+/// Sorts a result multiset into canonical order for order-insensitive
+/// comparison.
+inline std::vector<Tuple> Canonicalize(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    return CompareTuples(a, b) < 0;
+  });
+  return rows;
+}
+
+/// True iff `a` and `b` contain the same tuples with the same
+/// multiplicities.
+inline bool SameMultiset(std::vector<Tuple> a, std::vector<Tuple> b) {
+  a = Canonicalize(std::move(a));
+  b = Canonicalize(std::move(b));
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (CompareTuples(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace magicdb::testutil
+
+#endif  // MAGICDB_TESTS_TEST_UTIL_H_

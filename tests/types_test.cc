@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+#include "src/types/value.h"
+
+namespace magicdb {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(Value::Null(), Value());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int64(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("s").type(), DataType::kString);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  auto n = Value::Int64(3).AsNumeric();
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(*n, 3.0);
+  auto d = Value::Double(3.5).AsNumeric();
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 3.5);
+  EXPECT_FALSE(Value::String("x").AsNumeric().ok());
+  EXPECT_FALSE(Value::Null().AsNumeric().ok());
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Int64(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_LT(Value::Int64(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_GT(Value::Int64(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("abc").Compare(Value::String("abc")), 0);
+}
+
+TEST(ValueTest, MixedTypeRankOrdering) {
+  // bool < numeric < string (stable, arbitrary total order for sorting).
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int64(0)), 0);
+  EXPECT_LT(Value::Int64(999).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Int64(7).Hash(), Value::Int64(8).Hash());
+}
+
+TEST(ValueTest, LargeIntegerExactComparison) {
+  // Values beyond double precision must still compare exactly as int64.
+  const int64_t a = (1LL << 60) + 1;
+  const int64_t b = (1LL << 60) + 2;
+  EXPECT_LT(Value::Int64(a).Compare(Value::Int64(b)), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(5).ToString(), "5");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+}
+
+TEST(ValueTest, ByteWidth) {
+  EXPECT_EQ(Value::Int64(1).ByteWidth(), 8);
+  EXPECT_EQ(Value::String("abcd").ByteWidth(), 8);  // 4 chars + 4 overhead
+}
+
+TEST(SchemaTest, FindColumnQualified) {
+  Schema s({{"E", "did", DataType::kInt64}, {"D", "did", DataType::kInt64}});
+  auto idx = s.FindColumn("E", "did");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0);
+  idx = s.FindColumn("D", "did");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+}
+
+TEST(SchemaTest, UnqualifiedAmbiguity) {
+  Schema s({{"E", "did", DataType::kInt64}, {"D", "did", DataType::kInt64}});
+  auto idx = s.FindColumn("", "did");
+  ASSERT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, UnqualifiedUnique) {
+  Schema s({{"E", "did", DataType::kInt64}, {"E", "sal", DataType::kDouble}});
+  auto idx = s.FindColumn("", "sal");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+}
+
+TEST(SchemaTest, DottedLookup) {
+  Schema s({{"E", "did", DataType::kInt64}, {"E", "sal", DataType::kDouble}});
+  auto idx = s.FindColumn("E.sal");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+  EXPECT_FALSE(s.FindColumn("E.nope").ok());
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema a({{"E", "did", DataType::kInt64}});
+  Schema b({{"D", "budget", DataType::kDouble}});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.num_columns(), 2);
+  EXPECT_EQ(c.column(0).name, "did");
+  EXPECT_EQ(c.column(1).name, "budget");
+}
+
+TEST(SchemaTest, WithQualifier) {
+  Schema a({{"E", "did", DataType::kInt64}, {"", "x", DataType::kString}});
+  Schema q = a.WithQualifier("V");
+  EXPECT_EQ(q.column(0).qualifier, "V");
+  EXPECT_EQ(q.column(1).qualifier, "V");
+}
+
+TEST(SchemaTest, TupleWidthBytes) {
+  Schema s({{"t", "a", DataType::kInt64},
+            {"t", "b", DataType::kDouble},
+            {"t", "c", DataType::kString},
+            {"t", "d", DataType::kBool}});
+  EXPECT_EQ(s.TupleWidthBytes(), 8 + 8 + 16 + 1);
+}
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple a = {Value::Int64(1), Value::String("x")};
+  Tuple b = {Value::Double(2.5)};
+  Tuple c = ConcatTuples(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], Value::Double(2.5));
+  Tuple p = ProjectTuple(c, {2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value::Double(2.5));
+  EXPECT_EQ(p[1], Value::Int64(1));
+}
+
+TEST(TupleTest, HashColumnsMatchesEqualColumns) {
+  Tuple a = {Value::Int64(1), Value::String("x"), Value::Int64(9)};
+  Tuple b = {Value::Int64(1), Value::String("y"), Value::Int64(9)};
+  EXPECT_EQ(HashTupleColumns(a, {0, 2}), HashTupleColumns(b, {0, 2}));
+  EXPECT_NE(HashTupleColumns(a, {0, 1}), HashTupleColumns(b, {0, 1}));
+}
+
+TEST(TupleTest, CompareColumns) {
+  Tuple a = {Value::Int64(1), Value::Int64(5)};
+  Tuple b = {Value::Int64(5), Value::Int64(1)};
+  EXPECT_EQ(CompareTupleColumns(a, b, {0}, {1}), 0);
+  EXPECT_LT(CompareTupleColumns(a, b, {0}, {0}), 0);
+}
+
+TEST(TupleTest, WholeTupleCompare) {
+  Tuple a = {Value::Int64(1), Value::Int64(2)};
+  Tuple b = {Value::Int64(1), Value::Int64(3)};
+  Tuple c = {Value::Int64(1)};
+  EXPECT_LT(CompareTuples(a, b), 0);
+  EXPECT_GT(CompareTuples(a, c), 0);  // longer tuple with equal prefix
+  EXPECT_EQ(CompareTuples(a, a), 0);
+}
+
+TEST(TupleTest, ToStringRendering) {
+  Tuple t = {Value::Int64(1), Value::Null()};
+  EXPECT_EQ(TupleToString(t), "(1, NULL)");
+}
+
+}  // namespace
+}  // namespace magicdb
