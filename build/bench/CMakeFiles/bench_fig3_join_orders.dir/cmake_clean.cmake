@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_join_orders.dir/bench_fig3_join_orders.cc.o"
+  "CMakeFiles/bench_fig3_join_orders.dir/bench_fig3_join_orders.cc.o.d"
+  "bench_fig3_join_orders"
+  "bench_fig3_join_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_join_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

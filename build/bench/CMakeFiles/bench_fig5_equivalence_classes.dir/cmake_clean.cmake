@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_equivalence_classes.dir/bench_fig5_equivalence_classes.cc.o"
+  "CMakeFiles/bench_fig5_equivalence_classes.dir/bench_fig5_equivalence_classes.cc.o.d"
+  "bench_fig5_equivalence_classes"
+  "bench_fig5_equivalence_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_equivalence_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

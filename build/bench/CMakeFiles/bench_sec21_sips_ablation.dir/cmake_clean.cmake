@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec21_sips_ablation.dir/bench_sec21_sips_ablation.cc.o"
+  "CMakeFiles/bench_sec21_sips_ablation.dir/bench_sec21_sips_ablation.cc.o.d"
+  "bench_sec21_sips_ablation"
+  "bench_sec21_sips_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec21_sips_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

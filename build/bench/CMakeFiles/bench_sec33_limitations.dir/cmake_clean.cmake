@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_limitations.dir/bench_sec33_limitations.cc.o"
+  "CMakeFiles/bench_sec33_limitations.dir/bench_sec33_limitations.cc.o.d"
+  "bench_sec33_limitations"
+  "bench_sec33_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_opt_complexity.dir/bench_sec3_opt_complexity.cc.o"
+  "CMakeFiles/bench_sec3_opt_complexity.dir/bench_sec3_opt_complexity.cc.o.d"
+  "bench_sec3_opt_complexity"
+  "bench_sec3_opt_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_opt_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_distributed.dir/bench_sec51_distributed.cc.o"
+  "CMakeFiles/bench_sec51_distributed.dir/bench_sec51_distributed.cc.o.d"
+  "bench_sec51_distributed"
+  "bench_sec51_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_udr.dir/bench_sec52_udr.cc.o"
+  "CMakeFiles/bench_sec52_udr.dir/bench_sec52_udr.cc.o.d"
+  "bench_sec52_udr"
+  "bench_sec52_udr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_udr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_local_semijoin.dir/bench_sec53_local_semijoin.cc.o"
+  "CMakeFiles/bench_sec53_local_semijoin.dir/bench_sec53_local_semijoin.cc.o.d"
+  "bench_sec53_local_semijoin"
+  "bench_sec53_local_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_local_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

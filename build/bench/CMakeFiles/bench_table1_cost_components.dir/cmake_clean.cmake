@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cost_components.dir/bench_table1_cost_components.cc.o"
+  "CMakeFiles/bench_table1_cost_components.dir/bench_table1_cost_components.cc.o.d"
+  "bench_table1_cost_components"
+  "bench_table1_cost_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cost_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

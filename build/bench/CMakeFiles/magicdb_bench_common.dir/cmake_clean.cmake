@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magicdb_bench_common.dir/workloads/workloads.cc.o"
+  "CMakeFiles/magicdb_bench_common.dir/workloads/workloads.cc.o.d"
+  "libmagicdb_bench_common.a"
+  "libmagicdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magicdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmagicdb_bench_common.a"
+)

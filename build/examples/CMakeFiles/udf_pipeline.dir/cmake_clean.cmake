@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_pipeline.dir/udf_pipeline.cpp.o"
+  "CMakeFiles/udf_pipeline.dir/udf_pipeline.cpp.o.d"
+  "udf_pipeline"
+  "udf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cc" "src/CMakeFiles/magicdb.dir/bloom/bloom_filter.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/bloom/bloom_filter.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/magicdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/cost_counters.cc" "src/CMakeFiles/magicdb.dir/common/cost_counters.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/common/cost_counters.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/magicdb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/magicdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/common/status.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/magicdb.dir/db/database.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/db/database.cc.o.d"
+  "/root/repo/src/exec/aggregate_op.cc" "src/CMakeFiles/magicdb.dir/exec/aggregate_op.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/aggregate_op.cc.o.d"
+  "/root/repo/src/exec/basic_ops.cc" "src/CMakeFiles/magicdb.dir/exec/basic_ops.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/basic_ops.cc.o.d"
+  "/root/repo/src/exec/exchange_op.cc" "src/CMakeFiles/magicdb.dir/exec/exchange_op.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/exchange_op.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/magicdb.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/filter_join_op.cc" "src/CMakeFiles/magicdb.dir/exec/filter_join_op.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/filter_join_op.cc.o.d"
+  "/root/repo/src/exec/function_ops.cc" "src/CMakeFiles/magicdb.dir/exec/function_ops.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/function_ops.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/magicdb.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/magicdb.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/magicdb.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/exec/scan_ops.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/magicdb.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/expr/expr.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/magicdb.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer_dp.cc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_dp.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_dp.cc.o.d"
+  "/root/repo/src/optimizer/optimizer_join.cc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_join.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_join.cc.o.d"
+  "/root/repo/src/optimizer/optimizer_node.cc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_node.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/optimizer/optimizer_node.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/magicdb.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/rewrite/magic_rewrite.cc" "src/CMakeFiles/magicdb.dir/rewrite/magic_rewrite.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/rewrite/magic_rewrite.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/magicdb.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/magicdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/magicdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/magicdb.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/CMakeFiles/magicdb.dir/stats/table_stats.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/stats/table_stats.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/magicdb.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/magicdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/magicdb.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/magicdb.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/magicdb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/types/value.cc.o.d"
+  "/root/repo/src/udr/table_function.cc" "src/CMakeFiles/magicdb.dir/udr/table_function.cc.o" "gcc" "src/CMakeFiles/magicdb.dir/udr/table_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binder_test.cc" "tests/CMakeFiles/magicdb_tests.dir/binder_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/binder_test.cc.o.d"
+  "/root/repo/tests/bloom_test.cc" "tests/CMakeFiles/magicdb_tests.dir/bloom_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/bloom_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/magicdb_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/magicdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/magicdb_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/magicdb_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/estimate_quality_test.cc" "tests/CMakeFiles/magicdb_tests.dir/estimate_quality_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/estimate_quality_test.cc.o.d"
+  "/root/repo/tests/exec_basic_test.cc" "tests/CMakeFiles/magicdb_tests.dir/exec_basic_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/exec_basic_test.cc.o.d"
+  "/root/repo/tests/exec_filter_join_test.cc" "tests/CMakeFiles/magicdb_tests.dir/exec_filter_join_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/exec_filter_join_test.cc.o.d"
+  "/root/repo/tests/exec_join_test.cc" "tests/CMakeFiles/magicdb_tests.dir/exec_join_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/exec_join_test.cc.o.d"
+  "/root/repo/tests/exec_robustness_test.cc" "tests/CMakeFiles/magicdb_tests.dir/exec_robustness_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/exec_robustness_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/magicdb_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/fuzz_query_test.cc" "tests/CMakeFiles/magicdb_tests.dir/fuzz_query_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/fuzz_query_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/magicdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/multikey_test.cc" "tests/CMakeFiles/magicdb_tests.dir/multikey_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/multikey_test.cc.o.d"
+  "/root/repo/tests/optimizer_options_test.cc" "tests/CMakeFiles/magicdb_tests.dir/optimizer_options_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/optimizer_options_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/magicdb_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/ordered_access_test.cc" "tests/CMakeFiles/magicdb_tests.dir/ordered_access_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/ordered_access_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/magicdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/magicdb_tests.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/rewrite_test.cc.o.d"
+  "/root/repo/tests/sql_golden_test.cc" "tests/CMakeFiles/magicdb_tests.dir/sql_golden_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/sql_golden_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/magicdb_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/magicdb_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/magicdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/transitivity_test.cc" "tests/CMakeFiles/magicdb_tests.dir/transitivity_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/transitivity_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/magicdb_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/magicdb_tests.dir/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magicdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
