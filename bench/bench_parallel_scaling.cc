@@ -1,0 +1,138 @@
+// Parallel scaling of the morsel-driven executor (src/parallel) on the
+// Figure-1/2 workload: wall-clock speedup of Database::ExecuteParallel at
+// DoP in {1, 2, 4, 8}, for both plan shapes the executor parallelizes —
+// the no-magic hash-join plan and the magic FilterJoin plan.
+//
+// Two invariants are asserted on every run, not just reported:
+//   * rows are byte-identical to the DoP=1 execution, in the same order;
+//   * the merged per-worker cost counters equal the DoP=1 counters exactly
+//     (the Table-1 accounting contract at any degree of parallelism).
+//
+// Speedup is hardware-bound: on an N-core machine DoP > N adds scheduling
+// overhead without adding compute, so the table prints the detected core
+// count and the reader should judge the curve against it.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "workloads/table_printer.h"
+#include "workloads/workloads.h"
+
+namespace magicdb::bench {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+double MedianWallMs(Database* db, const char* query, int dop,
+                    QueryResult* out) {
+  std::vector<double> ms;
+  for (int r = 0; r < kRepetitions; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = db->ExecuteParallel(query, dop);
+    const auto t1 = std::chrono::steady_clock::now();
+    MAGICDB_CHECK_OK(result.status());
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (r == 0) *out = std::move(*result);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+void CheckIdentical(const QueryResult& base, const QueryResult& got) {
+  MAGICDB_CHECK(got.rows.size() == base.rows.size());
+  for (size_t i = 0; i < base.rows.size(); ++i) {
+    MAGICDB_CHECK(CompareTuples(got.rows[i], base.rows[i]) == 0);
+  }
+  MAGICDB_CHECK(got.counters.pages_read == base.counters.pages_read);
+  MAGICDB_CHECK(got.counters.pages_written == base.counters.pages_written);
+  MAGICDB_CHECK(got.counters.tuples_processed ==
+                base.counters.tuples_processed);
+  MAGICDB_CHECK(got.counters.exprs_evaluated == base.counters.exprs_evaluated);
+  MAGICDB_CHECK(got.counters.hash_operations == base.counters.hash_operations);
+  MAGICDB_CHECK(got.counters.messages_sent == base.counters.messages_sent);
+  MAGICDB_CHECK(got.counters.bytes_shipped == base.counters.bytes_shipped);
+}
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << v;
+  return os.str();
+}
+
+// Two-way join over base tables only: both hash-join sides are scan
+// chains, so the partitioned-build path parallelizes it.
+const char* kTwoWayJoinQuery =
+    "SELECT E.did, E.sal, D.budget FROM Emp E, Dept D "
+    "WHERE E.did = D.did AND E.age < 30 AND D.budget > 100000";
+
+void PrintScalingTable(const char* title, const char* query,
+                       OptimizerOptions::MagicMode mode) {
+  Figure1Options opts;
+  opts.num_depts = 2000;
+  opts.emps_per_dept = 50;  // Emp = 100k rows: enough work to share
+  opts.young_frac = 0.05;   // selective regime: magic wins and is chosen
+  opts.big_frac = 0.05;
+  opts.build_indexes = false;  // keep the plan in hash-join territory
+  auto db = MakeFigure1Database(opts);
+  auto* options = db->mutable_optimizer_options();
+  options->magic_mode = mode;
+  options->enable_nested_loops = false;
+  options->enable_index_nested_loops = false;
+  options->enable_sort_merge = false;
+
+  std::cout << "=== " << title << " (Dept=" << opts.num_depts
+            << ", Emp=" << opts.num_depts * opts.emps_per_dept << ") ===\n\n";
+  TablePrinter table({"dop", "used_dop", "wall_ms(median)", "speedup",
+                      "measured_cost", "rows", "fallback"});
+  QueryResult base;
+  double base_ms = 0.0;
+  for (int dop : {1, 2, 4, 8}) {
+    QueryResult result;
+    const double ms = MedianWallMs(db.get(), query, dop, &result);
+    if (dop == 1) {
+      base = std::move(result);
+      base_ms = ms;
+      table.AddRow({"1", "1", Fmt(ms), "1.00",
+                    Fmt(base.counters.TotalCost()),
+                    std::to_string(base.rows.size()), "-"});
+      continue;
+    }
+    CheckIdentical(base, result);
+    table.AddRow({std::to_string(dop), std::to_string(result.used_dop),
+                  Fmt(ms), Fmt(base_ms / std::max(1e-9, ms)),
+                  Fmt(result.counters.TotalCost()),
+                  std::to_string(result.rows.size()),
+                  result.parallel_fallback_reason.empty()
+                      ? "-"
+                      : result.parallel_fallback_reason});
+  }
+  table.Print();
+  std::cout << "(rows and merged counters verified identical to dop=1 at "
+               "every dop)\n\n";
+}
+
+void PrintScaling() {
+  std::cout << "hardware threads detected: "
+            << std::thread::hardware_concurrency()
+            << " — speedup beyond that count is not expected\n\n";
+  PrintScalingTable("Parallel scaling, two-way hash-join plan",
+                    kTwoWayJoinQuery, OptimizerOptions::MagicMode::kNever);
+  PrintScalingTable("Parallel scaling, magic FilterJoin plan",
+                    kFigure1Query,
+                    OptimizerOptions::MagicMode::kAlwaysOnVirtual);
+}
+
+}  // namespace
+}  // namespace magicdb::bench
+
+int main() {
+  magicdb::bench::PrintScaling();
+  return 0;
+}

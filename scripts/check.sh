@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Two-build gate for the parallel execution subsystem:
+#   1. Release build, full test suite (correctness + cost-identity tests);
+#   2. ThreadSanitizer build, full test suite (barrier/steal/merge races).
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== Release build ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "${JOBS}"
+ctest --test-dir build-release --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== ThreadSanitizer build ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMAGICDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "All checks passed."

@@ -2,7 +2,20 @@
 
 #include <sstream>
 
+#include "src/common/logging.h"
+
 namespace magicdb {
+
+void CostCounters::AssertNonNegative() const {
+  MAGICDB_CHECK(pages_read >= 0);
+  MAGICDB_CHECK(pages_written >= 0);
+  MAGICDB_CHECK(tuples_processed >= 0);
+  MAGICDB_CHECK(exprs_evaluated >= 0);
+  MAGICDB_CHECK(hash_operations >= 0);
+  MAGICDB_CHECK(messages_sent >= 0);
+  MAGICDB_CHECK(bytes_shipped >= 0);
+  MAGICDB_CHECK(function_invocations >= 0);
+}
 
 std::string CostCounters::ToString() const {
   std::ostringstream os;

@@ -50,6 +50,15 @@ inline int64_t RowsPerPage(int64_t width_bytes) {
 /// Accumulates the work an execution actually performed, in the same units
 /// the optimizer predicts. Experiment E3 (Table 1) compares the two
 /// directly. One counter instance is threaded through an execution context.
+///
+/// Threading contract: a CostCounters instance is SINGLE-WRITER. Counters
+/// are plain int64_t fields, deliberately not atomics — the parallel
+/// executor gives every worker a private ExecContext (and thus a private
+/// instance) and merges them with operator+= at pipeline close, after all
+/// workers have finished. Sharing one instance between concurrently
+/// charging threads is a data race; the charging protocol (each unit of
+/// work charged by exactly one worker) is what makes the merged totals
+/// equal a single-threaded execution's, not synchronization.
 struct CostCounters {
   int64_t pages_read = 0;
   int64_t pages_written = 0;
@@ -101,6 +110,12 @@ struct CostCounters {
   }
 
   std::string ToString() const;
+
+  /// Fails (MAGICDB_CHECK) if any counter is negative — the counter-merge
+  /// path calls this on every worker's counters before summing, so a
+  /// mis-attributed "refund" (a bug class the exactly-once charging
+  /// protocol can otherwise hide inside a sum) is caught at the merge.
+  void AssertNonNegative() const;
 };
 
 }  // namespace magicdb

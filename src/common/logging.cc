@@ -1,4 +1,5 @@
 #include "src/common/logging.h"
+#include <execinfo.h>
 
 namespace magicdb {
 
@@ -39,6 +40,11 @@ LogMessage::~LogMessage() {
 void FatalError(const char* file, int line, const std::string& message) {
   std::cerr << "[FATAL " << file << ":" << line << "] " << message
             << std::endl;
+  // Dump a raw stack so fatal checks are diagnosable without a debugger
+  // (symbolize offsets with addr2line against the binary).
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  backtrace_symbols_fd(frames, n, 2);
   std::abort();
 }
 

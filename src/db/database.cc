@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <sstream>
+#include <thread>
 
 #include "src/exec/basic_ops.h"
+#include "src/parallel/parallel_exec.h"
 #include "src/sql/binder.h"
 #include "src/sql/parser.h"
 
@@ -131,6 +133,72 @@ StatusOr<QueryResult> Database::Query(const std::string& sql) {
     for (const Operator* child : op.Children()) collect(*child);
   };
   collect(*root);
+  return result;
+}
+
+StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
+                                                int dop) {
+  if (dop <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    dop = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Binder binder(&catalog_);
+  MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan, binder.BindSelect(*stmt.select));
+
+  // One optimizer pass per worker replica: Optimize() is deterministic, so
+  // the trees are isomorphic and the executor verifies that before wiring
+  // shared state into them. Planning always uses the session options (the
+  // degree_of_parallelism costing knob included), never the execution dop —
+  // every dop must run the identical plan or the counter-identity guarantee
+  // would be comparing different plans.
+  Optimizer optimizer(&catalog_, optimizer_options_);
+  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized, optimizer.Optimize(plan));
+
+  QueryResult result;
+  result.schema = plan->schema();
+  result.explain = optimized.explain;
+  result.est_cost = optimized.est_cost;
+  result.est_rows = optimized.est_rows;
+  result.filter_joins = optimized.filter_joins;
+  result.optimizer_stats = optimizer.stats();
+
+  std::vector<OpPtr> replicas;
+  replicas.push_back(std::move(optimized.root));
+  // LIMIT cuts the stream early; workers would race for the quota, so run
+  // it sequentially (the analyzer would reject LimitOp anyway — this path
+  // just avoids planning dop replicas for nothing).
+  const bool has_limit = stmt.select->limit >= 0;
+  if (!has_limit && dop > 1 &&
+      ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
+    for (int w = 1; w < dop; ++w) {
+      Optimizer replica_optimizer(&catalog_, optimizer_options_);
+      MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan replica,
+                               replica_optimizer.Optimize(plan));
+      replicas.push_back(std::move(replica.root));
+    }
+  }
+  if (has_limit) {
+    replicas[0] = std::make_unique<LimitOp>(std::move(replicas[0]),
+                                            stmt.select->limit);
+  }
+
+  ParallelExecutor executor(has_limit ? 1 : dop);
+  MAGICDB_ASSIGN_OR_RETURN(
+      ParallelRunResult run,
+      executor.Run(std::move(replicas),
+                   optimizer_options_.memory_budget_bytes));
+  result.rows = std::move(run.rows);
+  result.counters = run.counters;
+  result.used_dop = run.used_dop;
+  result.parallel_fallback_reason =
+      has_limit ? "LIMIT clause" : std::move(run.fallback_reason);
+  if (run.has_filter_join) {
+    result.filter_join_measured.push_back(run.filter_join_measured);
+  }
   return result;
 }
 

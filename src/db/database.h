@@ -30,6 +30,11 @@ struct QueryResult {
   std::vector<FilterJoinMeasured> filter_join_measured;
   /// Optimization effort spent planning this query.
   OptimizerStats optimizer_stats;
+  /// Degree of parallelism the execution actually used (1 for Query() and
+  /// for ExecuteParallel fallbacks).
+  int used_dop = 1;
+  /// Why ExecuteParallel ran single-threaded; empty when it ran parallel.
+  std::string parallel_fallback_reason;
 
   /// Pretty-prints rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;
@@ -62,6 +67,16 @@ class Database {
 
   /// Parses, binds, optimizes and runs a SELECT.
   StatusOr<QueryResult> Query(const std::string& sql);
+
+  /// Like Query(), but runs the plan on `dop` morsel-driven workers when
+  /// its shape is parallel-safe (falling back to sequential execution
+  /// otherwise; see QueryResult::parallel_fallback_reason). `dop` <= 0 uses
+  /// the hardware concurrency. Results are byte-identical to Query() and
+  /// the merged cost counters equal a single-threaded execution's. The
+  /// plan is chosen with the session's OptimizerOptions — including its
+  /// degree_of_parallelism costing knob — NOT with `dop`, so every `dop`
+  /// executes the identical plan (set the knob yourself to steer costing).
+  StatusOr<QueryResult> ExecuteParallel(const std::string& sql, int dop = 0);
 
   /// Plans a SELECT without running it; returns the EXPLAIN text.
   StatusOr<std::string> Explain(const std::string& sql);

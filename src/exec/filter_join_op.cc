@@ -75,6 +75,7 @@ FilterJoinOp::FilterJoinOp(OpPtr outer, OpPtr inner, std::string binding_id,
 }
 
 Status FilterJoinOp::Open(ExecContext* ctx) {
+  if (shared_fj_ != nullptr) return OpenParallel(ctx);
   ctx_ = ctx;
   production_.clear();
   build_.clear();
@@ -190,6 +191,141 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+// Parallel Filter Join, one call per plan replica. Counter discipline: the
+// morsel-driven production drain and the final-join probe charge per row on
+// whichever worker handled the row (every row handled exactly once);
+// whole-relation charges (spool pages, AvailCost_F, the restricted inner)
+// are the coordinator's, charged once. Merged worker counters therefore
+// equal a single-threaded execution's counters exactly.
+Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
+  ctx_ = ctx;
+  production_.clear();
+  production_pos_.clear();
+  build_.clear();
+  outer_pos_ = 0;
+  have_outer_ = false;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  measured_ = FilterJoinMeasured();
+  last_filter_set_size_ = 0;
+  double phase_start = ctx->counters().TotalCost();
+
+  std::vector<int> identity(filter_outer_keys_.size());
+  for (size_t i = 0; i < identity.size(); ++i) {
+    identity[i] = static_cast<int>(i);
+  }
+
+  // Phase 1: drain this worker's slice of the outer into P_w, staging the
+  // filter keys into the hash-routed partitions as they stream by (the
+  // ProjCost_F hash op is charged here, once per non-null row globally).
+  MAGICDB_RETURN_IF_ERROR(outer_->Open(ctx));
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(outer_->Next(&t, &eof));
+    if (eof) break;
+    const int64_t pos = driving_scan_->last_global_row();
+    if (!TupleHasNullAt(t, filter_outer_keys_)) {
+      ctx->counters().hash_operations += 1;
+      Tuple key = ProjectTuple(t, filter_outer_keys_);
+      // Hash before the call: argument evaluation order is unspecified, and
+      // the by-value parameter would otherwise race the move against the hash.
+      const uint64_t key_hash = HashTupleColumns(key, identity);
+      shared_fj_->StageKey(worker_, pos, key_hash, std::move(key));
+    }
+    production_pos_.push_back(pos);
+    production_.push_back(std::move(t));
+  }
+  MAGICDB_RETURN_IF_ERROR(outer_->Close());
+  const int64_t prod_width = outer_->schema().TupleWidthBytes();
+  production_rows_per_page_ = RowsPerPage(prod_width);
+  shared_fj_->AddProductionRows(static_cast<int64_t>(production_.size()),
+                                static_cast<int64_t>(production_.size()) *
+                                    prod_width);
+  MAGICDB_RETURN_IF_ERROR(shared_fj_->StagingDone());
+  measured_.production = ctx->counters().TotalCost() - phase_start;
+  phase_start = ctx->counters().TotalCost();
+
+  // Phase 2: each worker dedups the one key partition it owns.
+  MAGICDB_RETURN_IF_ERROR(shared_fj_->DedupPartition(worker_));
+  measured_.projection = ctx->counters().TotalCost() - phase_start;
+  phase_start = ctx->counters().TotalCost();
+
+  if (worker_ == 0) {
+    // Coordinator: whole-relation charges and the restricted inner.
+    const int64_t total_rows = shared_fj_->total_production_rows();
+    // ProductionCost_P: spool write of the full production set.
+    ctx->counters().pages_written += PagesForRows(total_rows, prod_width);
+    measured_.production += ctx->counters().TotalCost() - phase_start;
+    phase_start = ctx->counters().TotalCost();
+
+    std::vector<Tuple> keys = shared_fj_->TakeOrderedKeys();
+    last_filter_set_size_ = static_cast<int64_t>(keys.size());
+
+    Schema key_schema;
+    for (int i : filter_outer_keys_) {
+      key_schema.AddColumn(outer_->schema().column(i));
+    }
+    std::shared_ptr<FilterSetBinding> binding;
+    if (impl_ == FilterSetImpl::kBloom) {
+      binding = FilterSetBinding::Bloom(key_schema, keys, bloom_bits_per_key_);
+    } else {
+      binding = FilterSetBinding::Exact(key_schema, std::move(keys));
+    }
+    // AvailCost_F: materialize F; ship it if the inner computes remotely.
+    ctx->counters().pages_written += PagesForRows(
+        binding->NumKeys() > 0
+            ? (impl_ == FilterSetImpl::kBloom ? 1 : binding->NumKeys())
+            : 0,
+        impl_ == FilterSetImpl::kBloom ? CostConstants::kPageSizeBytes
+                                       : key_schema.TupleWidthBytes());
+    if (ship_filter_to_site_ > 0) {
+      ctx->counters().messages_sent += 1;
+      ctx->counters().bytes_shipped += binding->SizeBytes();
+    }
+    ctx->BindFilterSet(binding_id_, std::move(binding));
+    measured_.avail_filter = ctx->counters().TotalCost() - phase_start;
+    phase_start = ctx->counters().TotalCost();
+
+    // Phase 3: restricted inner, built into the shared final-join table.
+    auto* shared_build = shared_fj_->mutable_inner_build();
+    Status inner_status = inner_->Open(ctx);
+    int64_t build_bytes = 0;
+    while (inner_status.ok()) {
+      Tuple t;
+      bool eof = false;
+      inner_status = inner_->Next(&t, &eof);
+      if (!inner_status.ok() || eof) break;
+      if (TupleHasNullAt(t, inner_keys_)) continue;
+      ctx->counters().hash_operations += 1;
+      build_bytes += TupleByteWidth(t);
+      (*shared_build)[HashTupleColumns(t, inner_keys_)].push_back(
+          std::move(t));
+    }
+    if (inner_status.ok()) inner_status = inner_->Close();
+    if (!inner_status.ok()) {
+      shared_fj_->Abort(inner_status);
+      return inner_status;
+    }
+    if (build_bytes > ctx->memory_budget_bytes()) {
+      const int64_t build_pages =
+          (build_bytes + CostConstants::kPageSizeBytes - 1) /
+          CostConstants::kPageSizeBytes;
+      ctx->counters().pages_written += build_pages;
+      ctx->counters().pages_read += build_pages;
+    }
+    measured_.filter_inner = ctx->counters().TotalCost() - phase_start;
+    phase_start = ctx->counters().TotalCost();
+    // Spool rescan of P for the final join, charged centrally (the probes
+    // below walk worker-local slices whose per-worker page rounding would
+    // otherwise overcharge).
+    ctx->counters().pages_read += PagesForRows(total_rows, prod_width);
+    measured_.final_join += ctx->counters().TotalCost() - phase_start;
+    return shared_fj_->InnerBarrier();
+  }
+  return shared_fj_->InnerBarrier();
+}
+
 Status FilterJoinOp::Next(Tuple* out, bool* eof) {
   // Phase 4: FinalJoinCost — probe the R_k' hash table with P. Each Next
   // call's charges are attributed to the final-join phase.
@@ -208,8 +344,12 @@ Status FilterJoinOp::Next(Tuple* out, bool* eof) {
         *eof = true;
         return Status::OK();
       }
-      if (static_cast<int64_t>(outer_pos_) % production_rows_per_page_ == 0) {
-        ctx_->counters().pages_read += 1;  // rescan of the spooled P
+      if (shared_fj_ == nullptr &&
+          static_cast<int64_t>(outer_pos_) % production_rows_per_page_ == 0) {
+        // Rescan of the spooled P. In parallel mode the coordinator charges
+        // these pages centrally from the global row count (per-worker slice
+        // rounding would overcharge), so workers skip the per-row charge.
+        ctx_->counters().pages_read += 1;
       }
       current_outer_ = production_[outer_pos_++];
       ctx_->counters().tuples_processed += 1;
@@ -220,8 +360,10 @@ Status FilterJoinOp::Next(Tuple* out, bool* eof) {
         continue;
       }
       ctx_->counters().hash_operations += 1;
-      auto it = build_.find(HashTupleColumns(current_outer_, outer_keys_));
-      current_bucket_ = it == build_.end() ? nullptr : &it->second;
+      const auto& table =
+          shared_fj_ != nullptr ? shared_fj_->inner_build() : build_;
+      auto it = table.find(HashTupleColumns(current_outer_, outer_keys_));
+      current_bucket_ = it == table.end() ? nullptr : &it->second;
       bucket_pos_ = 0;
     }
     while (current_bucket_ != nullptr &&
@@ -247,6 +389,7 @@ Status FilterJoinOp::Next(Tuple* out, bool* eof) {
 Status FilterJoinOp::Close() {
   if (ctx_ != nullptr) ctx_->UnbindFilterSet(binding_id_);
   production_.clear();
+  production_pos_.clear();
   build_.clear();
   return Status::OK();
 }

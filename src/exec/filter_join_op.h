@@ -2,12 +2,15 @@
 #define MAGICDB_EXEC_FILTER_JOIN_OP_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/exec/operator.h"
+#include "src/exec/scan_ops.h"
 #include "src/expr/expr.h"
+#include "src/parallel/partitioned_build.h"
 
 namespace magicdb {
 
@@ -101,7 +104,29 @@ class FilterJoinOp final : public Operator {
   /// Measured Table-1 phase costs of the current/most recent execution.
   const FilterJoinMeasured& measured() const { return measured_; }
 
+  /// Parallel execution: this replica contributes its morsel-driven slice
+  /// of the production set, the filter set is built partitioned across
+  /// workers, the restricted inner runs once on worker 0, and the final
+  /// join probes in parallel. `driving_scan` is the morsel-driven scan at
+  /// the bottom of this replica's outer chain (source of global row
+  /// positions). Call before Open.
+  void EnableParallel(std::shared_ptr<SharedFilterJoin> shared, int worker,
+                      SeqScanOp* driving_scan) {
+    shared_fj_ = std::move(shared);
+    worker_ = worker;
+    driving_scan_ = driving_scan;
+  }
+
+  /// Global driving-row position of the production tuple currently being
+  /// probed (parallel mode; gather-merge sort key).
+  int64_t last_probe_global_pos() const {
+    return outer_pos_ == 0 ? -1
+                           : production_pos_[outer_pos_ - 1];
+  }
+
  private:
+  Status OpenParallel(ExecContext* ctx);
+
   OpPtr outer_;
   OpPtr inner_;
   std::string binding_id_;
@@ -124,6 +149,11 @@ class FilterJoinOp final : public Operator {
   int64_t last_filter_set_size_ = 0;
   int64_t production_rows_per_page_ = 1;
   FilterJoinMeasured measured_;
+  // Parallel-mode wiring; null / unused in sequential mode.
+  std::shared_ptr<SharedFilterJoin> shared_fj_;
+  int worker_ = 0;
+  SeqScanOp* driving_scan_ = nullptr;
+  std::vector<int64_t> production_pos_;  // global pos per production_ row
 };
 
 /// Finds the topmost FilterJoinOp in an operator tree (nullptr if none) —

@@ -1,0 +1,54 @@
+#include "src/exec/gather_op.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+GatherOp::GatherOp(Schema schema, std::vector<std::vector<GatherRow>> runs)
+    : Operator(std::move(schema)), runs_(std::move(runs)) {
+  for (const auto& run : runs_) {
+    for (size_t i = 1; i < run.size(); ++i) {
+      MAGICDB_CHECK(run[i - 1].pos <= run[i].pos);
+    }
+  }
+}
+
+Status GatherOp::Open(ExecContext* /*ctx*/) {
+  cursor_.assign(runs_.size(), 0);
+  return Status::OK();
+}
+
+Status GatherOp::Next(Tuple* out, bool* eof) {
+  // Pick the run whose head has the smallest position; ties (possible only
+  // when several output rows share one driving row, all within one worker's
+  // run) resolve to the lowest run index, and within a run FIFO order is
+  // preserved — both match sequential emission order.
+  int best = -1;
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    if (cursor_[r] >= runs_[r].size()) continue;
+    if (best < 0 || runs_[r][cursor_[r]].pos < runs_[best][cursor_[best]].pos) {
+      best = static_cast<int>(r);
+    }
+  }
+  if (best < 0) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = std::move(runs_[best][cursor_[best]++].row);
+  *eof = false;
+  return Status::OK();
+}
+
+Status GatherOp::Close() {
+  runs_.clear();
+  cursor_.clear();
+  return Status::OK();
+}
+
+std::string GatherOp::Describe() const {
+  return "Gather(runs=" + std::to_string(runs_.size()) + ")";
+}
+
+}  // namespace magicdb

@@ -1,0 +1,45 @@
+#ifndef MAGICDB_EXEC_GATHER_OP_H_
+#define MAGICDB_EXEC_GATHER_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/operator.h"
+
+namespace magicdb {
+
+/// One output row of a parallel pipeline, tagged with the global position
+/// of the driving-scan row that produced it. Workers claim morsels in
+/// monotonically increasing order, so each worker's run is already sorted
+/// by position; positions are unique across workers (every driving row is
+/// claimed by exactly one morsel).
+struct GatherRow {
+  int64_t pos = 0;
+  Tuple row;
+};
+
+/// Deterministic merge of the per-worker output runs of a parallel
+/// pipeline. A k-way merge on the driving-scan position reproduces exactly
+/// the row order a single-threaded execution emits, so results are
+/// byte-identical at any degree of parallelism. GatherOp performs no query
+/// work of its own and charges nothing to the cost counters — the rows it
+/// forwards were fully paid for by the workers that produced them.
+class GatherOp final : public Operator {
+ public:
+  /// Each run must be sorted ascending by `pos`. Takes ownership.
+  GatherOp(Schema schema, std::vector<std::vector<GatherRow>> runs);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::vector<GatherRow>> runs_;
+  std::vector<size_t> cursor_;  // next unconsumed index per run
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_GATHER_OP_H_

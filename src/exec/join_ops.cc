@@ -180,7 +180,10 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   bucket_pos_ = 0;
   spilled_ = false;
   probe_bytes_pending_ = 0;
-  // Build phase over the inner child.
+  // Build phase over the inner child. In shared (parallel) mode this
+  // replica drains only its morsel-driven slice of the build input and
+  // stages rows into the partitioned build; FinishStaging synchronizes
+  // with the other replicas and assembles the partitions.
   MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
   int64_t build_bytes = 0;
   while (true) {
@@ -190,10 +193,23 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     if (eof) break;
     if (TupleHasNullAt(t, inner_keys_)) continue;  // NULL keys never join
     ctx->counters().hash_operations += 1;
+    const uint64_t hash = HashTupleColumns(t, inner_keys_);
+    if (shared_build_ != nullptr) {
+      shared_build_->Stage(worker_, shared_inner_scan_->last_global_row(),
+                           hash, std::move(t));
+      continue;
+    }
     build_bytes += TupleByteWidth(t);
-    build_[HashTupleColumns(t, inner_keys_)].push_back(std::move(t));
+    build_[hash].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  if (shared_build_ != nullptr) {
+    // Barrier + partition assembly; global spill accounting happens inside
+    // (charged once, not once per replica).
+    MAGICDB_RETURN_IF_ERROR(shared_build_->FinishStaging(worker_, ctx));
+    spilled_ = shared_build_->spilled();
+    return outer_->Open(ctx);
+  }
   // Build side over budget: charge one Grace partitioning pass. The build
   // input pays now; the probe input pays as it streams (see Next).
   if (build_bytes > ctx->memory_budget_bytes()) {
@@ -218,11 +234,17 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
       }
       have_outer_ = true;
       if (spilled_) {
-        probe_bytes_pending_ += TupleByteWidth(current_outer_);
-        while (probe_bytes_pending_ >= CostConstants::kPageSizeBytes) {
-          probe_bytes_pending_ -= CostConstants::kPageSizeBytes;
-          ctx_->counters().pages_written += 1;
-          ctx_->counters().pages_read += 1;
+        if (shared_build_ != nullptr) {
+          // Global byte stream: exact floor semantics at any DoP.
+          shared_build_->ChargeProbeBytes(ctx_,
+                                          TupleByteWidth(current_outer_));
+        } else {
+          probe_bytes_pending_ += TupleByteWidth(current_outer_);
+          while (probe_bytes_pending_ >= CostConstants::kPageSizeBytes) {
+            probe_bytes_pending_ -= CostConstants::kPageSizeBytes;
+            ctx_->counters().pages_written += 1;
+            ctx_->counters().pages_read += 1;
+          }
         }
       }
       if (TupleHasNullAt(current_outer_, outer_keys_)) {
@@ -231,8 +253,13 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
         continue;
       }
       ctx_->counters().hash_operations += 1;
-      auto it = build_.find(HashTupleColumns(current_outer_, outer_keys_));
-      current_bucket_ = it == build_.end() ? nullptr : &it->second;
+      const uint64_t hash = HashTupleColumns(current_outer_, outer_keys_);
+      if (shared_build_ != nullptr) {
+        current_bucket_ = shared_build_->Probe(hash);
+      } else {
+        auto it = build_.find(hash);
+        current_bucket_ = it == build_.end() ? nullptr : &it->second;
+      }
       bucket_pos_ = 0;
     }
     while (current_bucket_ != nullptr &&

@@ -1,12 +1,15 @@
 #ifndef MAGICDB_EXEC_JOIN_OPS_H_
 #define MAGICDB_EXEC_JOIN_OPS_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/exec/operator.h"
+#include "src/exec/scan_ops.h"
 #include "src/expr/expr.h"
+#include "src/parallel/partitioned_build.h"
 #include "src/storage/index.h"
 #include "src/storage/table.h"
 
@@ -91,6 +94,19 @@ class HashJoinOp final : public Operator {
     return {outer_.get(), inner_.get()};
   }
 
+  /// Parallel execution: route this replica's build rows into a shared
+  /// partitioned build instead of a private hash table. `inner_scan` is
+  /// the morsel-driven scan at the bottom of this replica's inner chain;
+  /// its last_global_row() gives each staged row the scan position the
+  /// partition owner sorts by (determinism of bucket order). Call before
+  /// Open; the parallel executor wires every replica identically.
+  void EnableSharedBuild(std::shared_ptr<SharedHashBuild> shared, int worker,
+                         SeqScanOp* inner_scan) {
+    shared_build_ = std::move(shared);
+    worker_ = worker;
+    shared_inner_scan_ = inner_scan;
+  }
+
  private:
   OpPtr outer_;
   OpPtr inner_;
@@ -107,6 +123,10 @@ class HashJoinOp final : public Operator {
   // budget, both inputs pay one write+read partitioning pass.
   bool spilled_ = false;
   int64_t probe_bytes_pending_ = 0;
+  // Parallel (shared partitioned) build wiring; null in sequential mode.
+  std::shared_ptr<SharedHashBuild> shared_build_;
+  int worker_ = 0;
+  SeqScanOp* shared_inner_scan_ = nullptr;
 };
 
 /// Sort-merge join on equality keys. Both inputs are drained, sorted by

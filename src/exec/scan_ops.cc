@@ -10,12 +10,24 @@ SeqScanOp::SeqScanOp(const Table* table, const std::string& alias)
 Status SeqScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_row_ = 0;
+  have_morsel_ = false;
+  last_global_row_ = -1;
   rows_per_page_ = RowsPerPage(table_->schema().TupleWidthBytes());
   return Status::OK();
 }
 
 Status SeqScanOp::Next(Tuple* out, bool* eof) {
-  if (next_row_ >= table_->NumRows()) {
+  if (morsels_ != nullptr) {
+    while (!have_morsel_ || next_row_ >= morsel_.end) {
+      if (!morsels_->Next(&morsel_)) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_morsel_ = true;
+      next_row_ = morsel_.begin;
+    }
+    // Morsels are page-aligned, so the boundary test below stays exact.
+  } else if (next_row_ >= table_->NumRows()) {
     *eof = true;
     return Status::OK();
   }
@@ -23,6 +35,7 @@ Status SeqScanOp::Next(Tuple* out, bool* eof) {
     ctx_->counters().pages_read += 1;
   }
   ctx_->counters().tuples_processed += 1;
+  last_global_row_ = next_row_;
   *out = table_->row(next_row_++);
   *eof = false;
   return Status::OK();

@@ -1,10 +1,12 @@
 #ifndef MAGICDB_EXEC_SCAN_OPS_H_
 #define MAGICDB_EXEC_SCAN_OPS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/exec/operator.h"
+#include "src/parallel/morsel.h"
 #include "src/storage/table.h"
 
 namespace magicdb {
@@ -12,6 +14,12 @@ namespace magicdb {
 /// Full scan of a stored table. Charges one page read per page boundary
 /// crossed plus CPU per tuple. The table's schema may be re-qualified with
 /// an alias ("Emp E").
+///
+/// With a MorselSource attached (parallel execution), the scan claims
+/// page-aligned morsels from the shared source instead of walking the table
+/// front to back: the plan replicas of all workers collectively produce
+/// every row exactly once, and the per-row page-boundary charge sums to
+/// exactly the sequential scan's page count.
 class SeqScanOp final : public Operator {
  public:
   /// `alias` empty keeps the table's own qualifier.
@@ -22,11 +30,30 @@ class SeqScanOp final : public Operator {
   Status Close() override;
   std::string Describe() const override;
 
+  const Table* table() const { return table_; }
+
+  /// Switches the scan to morsel-driven mode. The source must be shared by
+  /// every plan replica scanning this site and be page-aligned for this
+  /// table's row width. Call before Open; Open does not reset the source
+  /// (the morsel cursor is query-global, not per-replica).
+  void AttachMorselSource(std::shared_ptr<MorselSource> source) {
+    morsels_ = std::move(source);
+  }
+
+  /// Global position (row index in the table) of the most recently
+  /// returned row. The gather merge uses this to restore sequential output
+  /// order across workers; only meaningful in morsel mode.
+  int64_t last_global_row() const { return last_global_row_; }
+
  private:
   const Table* table_;
   ExecContext* ctx_ = nullptr;
   int64_t next_row_ = 0;
   int64_t rows_per_page_ = 1;
+  std::shared_ptr<MorselSource> morsels_;
+  Morsel morsel_;
+  bool have_morsel_ = false;
+  int64_t last_global_row_ = -1;
 };
 
 /// Scans a stored table in the key order of one of its ordered indexes —

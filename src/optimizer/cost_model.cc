@@ -14,9 +14,10 @@ double Estimate::PagesForRowsD(double rows, int64_t width_bytes) {
 
 namespace costs {
 
-double SeqScan(double rows, int64_t width_bytes) {
+double SeqScan(double rows, int64_t width_bytes, int dop) {
+  const double d = dop > 1 ? static_cast<double>(dop) : 1.0;
   return Estimate::PagesForRowsD(rows, width_bytes) +
-         CostConstants::kCpuTupleCost * rows;
+         CostConstants::kCpuTupleCost * rows / d;
 }
 
 double MaterializeWrite(double rows, int64_t width_bytes) {
@@ -28,11 +29,16 @@ double SpoolRead(double rows, int64_t width_bytes) {
          CostConstants::kCpuTupleCost * rows;
 }
 
-double HashBuild(double rows) { return CostConstants::kCpuHashCost * rows; }
+double HashBuild(double rows, int dop) {
+  const double d = dop > 1 ? static_cast<double>(dop) : 1.0;
+  return CostConstants::kCpuHashCost * rows / d;
+}
 
-double HashProbe(double probes, double out_rows) {
-  return CostConstants::kCpuHashCost * probes +
-         CostConstants::kCpuTupleCost * out_rows;
+double HashProbe(double probes, double out_rows, int dop) {
+  const double d = dop > 1 ? static_cast<double>(dop) : 1.0;
+  return (CostConstants::kCpuHashCost * probes +
+          CostConstants::kCpuTupleCost * out_rows) /
+         d;
 }
 
 double Sort(double rows, int64_t width_bytes, int64_t memory_budget_bytes) {
@@ -53,8 +59,11 @@ double ExprEval(double rows) { return CostConstants::kCpuExprCost * rows; }
 double Ship(double rows, int64_t width_bytes) {
   if (rows <= 0) return 0.0;
   const double bytes = rows * static_cast<double>(width_bytes);
+  // One connection/open message plus one per page of payload; a trailing
+  // partial page ships as a short message too (ShipOp flushes it at Close),
+  // hence the ceil.
   const double messages =
-      1.0 + std::floor(bytes / CostConstants::kPageSizeBytes);
+      1.0 + std::ceil(bytes / CostConstants::kPageSizeBytes);
   return CostConstants::kMessageCost * messages +
          CostConstants::kBytePerCost * bytes;
 }

@@ -26,8 +26,12 @@ struct Estimate {
 /// predicted and measured costs are comparable component by component.
 namespace costs {
 
-/// Full scan of a stored table.
-double SeqScan(double rows, int64_t width_bytes);
+/// Full scan of a stored table. `dop` > 1 models morsel-driven parallel
+/// execution: the per-tuple CPU term divides by the degree of parallelism
+/// (workers scan disjoint morsels concurrently) while the page term is
+/// unchanged — the same pages are read regardless of who reads them, and
+/// the counters measure totals, not elapsed time.
+double SeqScan(double rows, int64_t width_bytes, int dop = 1);
 
 /// Spooling `rows` tuples to a temporary (page writes).
 double MaterializeWrite(double rows, int64_t width_bytes);
@@ -35,11 +39,13 @@ double MaterializeWrite(double rows, int64_t width_bytes);
 /// Replaying a spool (page reads + tuple CPU).
 double SpoolRead(double rows, int64_t width_bytes);
 
-/// Hash-table build over `rows`.
-double HashBuild(double rows);
+/// Hash-table build over `rows`. `dop` > 1 divides the CPU term: the build
+/// is partitioned across workers (each staging a disjoint slice).
+double HashBuild(double rows, int dop = 1);
 
-/// `probes` hash probes plus `out_rows` emitted join tuples.
-double HashProbe(double probes, double out_rows);
+/// `probes` hash probes plus `out_rows` emitted join tuples. `dop` > 1
+/// divides the CPU terms (probes route to partitions in parallel).
+double HashProbe(double probes, double out_rows, int dop = 1);
 
 /// In-memory sort of `rows` (n log2 n comparisons) plus one external pass
 /// if the data exceeds `memory_budget_bytes`.

@@ -245,7 +245,8 @@ StatusOr<JoinGraph> Optimizer::Impl::BuildJoinGraph(const NaryJoinNode& join,
         in.planned.est.rows = in.base_rows * sel;
         in.planned.est.width_bytes = in.schema.TupleWidthBytes();
         in.planned.est.cost =
-            costs::SeqScan(in.base_rows, in.planned.est.width_bytes);
+            costs::SeqScan(in.base_rows, in.planned.est.width_bytes,
+                           options_->degree_of_parallelism);
         if (!in.local_preds.empty()) {
           in.planned.est.cost += costs::ExprEval(in.base_rows);
         }
@@ -530,8 +531,11 @@ StatusOr<PartialPlan> Optimizer::Impl::CostJoinStep(const JoinGraph& graph,
 
     case StepMethod::kHash: {
       if (!options_->enable_hash_join || is_function || keys.empty()) break;
-      step_cost = inner.planned.est.cost + costs::HashBuild(inner_rows) +
-                  costs::HashProbe(outer.rows, mid_rows) +
+      step_cost = inner.planned.est.cost +
+                  costs::HashBuild(inner_rows,
+                                   options_->degree_of_parallelism) +
+                  costs::HashProbe(outer.rows, mid_rows,
+                                   options_->degree_of_parallelism) +
                   costs::HashSpill(inner_rows, inner.planned.est.width_bytes,
                                    outer.rows, outer.width,
                                    options_->memory_budget_bytes) +

@@ -191,7 +191,8 @@ StatusOr<Planned> Optimizer::Impl::PlanRelScan(const LogicalPtr& node,
                               : static_cast<double>(table->NumRows());
       p.est.rows = rows;
       p.est.width_bytes = p.schema.TupleWidthBytes();
-      p.est.cost = costs::SeqScan(rows, p.est.width_bytes);
+      p.est.cost = costs::SeqScan(rows, p.est.width_bytes,
+                                  options_->degree_of_parallelism);
       p.distinct.resize(ncols);
       for (int c = 0; c < ncols; ++c) {
         p.distinct[c] = entry->stats_valid

@@ -65,6 +65,14 @@ struct OptimizerOptions {
 
   /// Memory the executor will have (affects sort costing).
   int64_t memory_budget_bytes = 4 * 1024 * 1024;
+
+  /// Degree of parallelism the executor will use. Values > 1 divide the
+  /// CPU terms of scan and hash build/probe costing by this factor
+  /// (morsel-driven workers split that work); page and message terms are
+  /// unchanged — parallelism does not reduce total I/O or communication.
+  /// Plan choice may legitimately differ from dop=1 as CPU-bound
+  /// alternatives become relatively cheaper.
+  int degree_of_parallelism = 1;
 };
 
 /// Work counters the optimizer accumulates during one Optimize() call;

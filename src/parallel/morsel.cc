@@ -1,0 +1,29 @@
+#include "src/parallel/morsel.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace magicdb {
+
+MorselSource::MorselSource(int64_t num_rows, int64_t rows_per_page,
+                           int64_t target_rows)
+    : num_rows_(num_rows < 0 ? 0 : num_rows) {
+  MAGICDB_CHECK(rows_per_page >= 1);
+  if (target_rows < 1) target_rows = 1;
+  // Round the morsel size up to a whole number of pages.
+  morsel_rows_ =
+      ((target_rows + rows_per_page - 1) / rows_per_page) * rows_per_page;
+  num_morsels_ = (num_rows_ + morsel_rows_ - 1) / morsel_rows_;
+}
+
+bool MorselSource::Next(Morsel* morsel) {
+  const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= num_morsels_) return false;
+  morsel->index = i;
+  morsel->begin = i * morsel_rows_;
+  morsel->end = std::min(num_rows_, morsel->begin + morsel_rows_);
+  return true;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,255 @@
+#include "src/parallel/parallel_exec.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/exec/basic_ops.h"
+#include "src/exec/gather_op.h"
+#include "src/exec/join_ops.h"
+#include "src/exec/scan_ops.h"
+#include "src/parallel/morsel.h"
+#include "src/parallel/partitioned_build.h"
+#include "src/parallel/thread_pool.h"
+
+namespace magicdb {
+
+namespace {
+
+// The executor owns the replica trees, so shedding the const that
+// Children() adds for printing purposes is sound.
+Operator* Child(const Operator* op, size_t i) {
+  return const_cast<Operator*>(op->Children()[i]);
+}
+
+/// The parallel-relevant sites of one plan replica, in the fixed shape
+/// ParallelExecutor documents. hash_joins/hash_inner_scans are parallel
+/// arrays in top-down (probe-order) encounter order.
+struct ReplicaShape {
+  SeqScanOp* driving_scan = nullptr;
+  FilterJoinOp* filter_join = nullptr;
+  std::vector<HashJoinOp*> hash_joins;
+  std::vector<SeqScanOp*> hash_inner_scans;
+};
+
+/// Walks a hash join's build side: [Project|Filter]* -> SeqScan.
+SeqScanOp* FindInnerScan(Operator* node) {
+  while (true) {
+    if (auto* scan = dynamic_cast<SeqScanOp*>(node)) return scan;
+    if (dynamic_cast<FilterOp*>(node) != nullptr ||
+        dynamic_cast<ProjectOp*>(node) != nullptr) {
+      node = Child(node, 0);
+      continue;
+    }
+    return nullptr;
+  }
+}
+
+/// Classifies `root` against the parallel-safe shape. Returns the empty
+/// string and fills `shape` on success, else the reason the plan must run
+/// sequentially.
+std::string Analyze(Operator* root, ReplicaShape* shape) {
+  Operator* node = root;
+  while (true) {
+    if (dynamic_cast<FilterOp*>(node) != nullptr ||
+        dynamic_cast<ProjectOp*>(node) != nullptr) {
+      node = Child(node, 0);
+      continue;
+    }
+    if (auto* fj = dynamic_cast<FilterJoinOp*>(node)) {
+      // One Filter Join anywhere along the driving chain. Its probe phase
+      // rescans the materialized production set, which makes it the chain's
+      // position provider; a second one would fight over that role.
+      if (shape->filter_join != nullptr) {
+        return "more than one FilterJoin in the driving chain";
+      }
+      shape->filter_join = fj;
+      node = Child(node, 0);  // descend the outer / production side
+      continue;
+    }
+    if (auto* hj = dynamic_cast<HashJoinOp*>(node)) {
+      SeqScanOp* inner_scan = FindInnerScan(Child(node, 1));
+      if (inner_scan == nullptr) {
+        return "hash-join build side is not a base-table scan chain";
+      }
+      shape->hash_joins.push_back(hj);
+      shape->hash_inner_scans.push_back(inner_scan);
+      node = Child(node, 0);
+      continue;
+    }
+    if (auto* scan = dynamic_cast<SeqScanOp*>(node)) {
+      shape->driving_scan = scan;
+      return "";
+    }
+    return "unsupported operator in pipeline: " + node->Describe();
+  }
+}
+
+std::shared_ptr<MorselSource> MakeSourceFor(const SeqScanOp* scan) {
+  const Table* t = scan->table();
+  return std::make_shared<MorselSource>(
+      t->NumRows(), RowsPerPage(t->schema().TupleWidthBytes()));
+}
+
+/// Opens, drains, and closes one replica, tagging every output row with the
+/// global driving-scan position the gather merge sorts by.
+Status RunPipeline(Operator* root, const ReplicaShape& shape,
+                   ExecContext* ctx, std::vector<GatherRow>* run) {
+  MAGICDB_RETURN_IF_ERROR(root->Open(ctx));
+  while (true) {
+    Tuple t;
+    bool eof = false;
+    MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
+    if (eof) break;
+    const int64_t pos = shape.filter_join != nullptr
+                            ? shape.filter_join->last_probe_global_pos()
+                            : shape.driving_scan->last_global_row();
+    run->push_back({pos, std::move(t)});
+  }
+  return root->Close();
+}
+
+StatusOr<ParallelRunResult> RunSequential(Operator* root,
+                                          int64_t memory_budget_bytes,
+                                          std::string fallback_reason) {
+  ParallelRunResult result;
+  result.used_dop = 1;
+  result.fallback_reason = std::move(fallback_reason);
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(memory_budget_bytes);
+  MAGICDB_ASSIGN_OR_RETURN(result.rows, ExecuteToVector(root, &ctx));
+  result.counters = ctx.counters();
+  if (const FilterJoinOp* fj = FindFilterJoin(*root)) {
+    result.has_filter_join = true;
+    result.filter_join_measured = fj->measured();
+    result.filter_set_size = fj->last_filter_set_size();
+  }
+  return result;
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(int dop) : dop_(dop < 1 ? 1 : dop) {}
+
+std::string ParallelExecutor::UnsafeReason(const Operator& root) {
+  ReplicaShape shape;
+  return Analyze(const_cast<Operator*>(&root), &shape);
+}
+
+StatusOr<ParallelRunResult> ParallelExecutor::Run(
+    std::vector<OpPtr> replicas, int64_t memory_budget_bytes) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("ParallelExecutor::Run: no plan replicas");
+  }
+  if (dop_ == 1) {
+    return RunSequential(replicas[0].get(), memory_budget_bytes, "dop=1");
+  }
+
+  // Analyze every replica; verify the trees really are isomorphic (the
+  // optimizer is deterministic, so a mismatch is a bug upstream — but a
+  // wrong answer would be worse than a sequential one, so verify).
+  std::vector<ReplicaShape> shapes(replicas.size());
+  std::string reason = Analyze(replicas[0].get(), &shapes[0]);
+  if (!reason.empty()) {
+    return RunSequential(replicas[0].get(), memory_budget_bytes, reason);
+  }
+  if (static_cast<int>(replicas.size()) != dop_) {
+    return RunSequential(replicas[0].get(), memory_budget_bytes,
+                         "replica count does not match dop");
+  }
+  const std::string tree0 = replicas[0]->TreeString();
+  for (size_t w = 1; w < replicas.size(); ++w) {
+    reason = Analyze(replicas[w].get(), &shapes[w]);
+    bool same = reason.empty() && replicas[w]->TreeString() == tree0 &&
+                shapes[w].hash_joins.size() == shapes[0].hash_joins.size() &&
+                (shapes[w].filter_join != nullptr) ==
+                    (shapes[0].filter_join != nullptr) &&
+                shapes[w].driving_scan->table() ==
+                    shapes[0].driving_scan->table();
+    for (size_t j = 0; same && j < shapes[0].hash_inner_scans.size(); ++j) {
+      same = shapes[w].hash_inner_scans[j]->table() ==
+             shapes[0].hash_inner_scans[j]->table();
+    }
+    if (!same) {
+      return RunSequential(replicas[0].get(), memory_budget_bytes,
+                           "plan replicas are not isomorphic");
+    }
+  }
+
+  // Shared state, one object per parallel site, wired into every replica.
+  auto driving_source = MakeSourceFor(shapes[0].driving_scan);
+  std::vector<std::shared_ptr<MorselSource>> inner_sources;
+  std::vector<std::shared_ptr<SharedHashBuild>> shared_builds;
+  for (const SeqScanOp* scan : shapes[0].hash_inner_scans) {
+    inner_sources.push_back(MakeSourceFor(scan));
+    shared_builds.push_back(
+        std::make_shared<SharedHashBuild>(dop_, memory_budget_bytes));
+  }
+  std::shared_ptr<SharedFilterJoin> shared_fj;
+  if (shapes[0].filter_join != nullptr) {
+    shared_fj = std::make_shared<SharedFilterJoin>(dop_);
+  }
+  for (int w = 0; w < dop_; ++w) {
+    shapes[w].driving_scan->AttachMorselSource(driving_source);
+    for (size_t j = 0; j < shapes[w].hash_joins.size(); ++j) {
+      shapes[w].hash_inner_scans[j]->AttachMorselSource(inner_sources[j]);
+      shapes[w].hash_joins[j]->EnableSharedBuild(shared_builds[j], w,
+                                                 shapes[w].hash_inner_scans[j]);
+    }
+    if (shared_fj != nullptr) {
+      shapes[w].filter_join->EnableParallel(shared_fj, w,
+                                            shapes[w].driving_scan);
+    }
+  }
+
+  // A failing worker must release every peer blocked on a phase barrier,
+  // or RunOnAllWorkers (and the query) would hang.
+  auto abort_all = [&](const Status& st) {
+    for (auto& b : shared_builds) b->Abort(st);
+    if (shared_fj != nullptr) shared_fj->Abort(st);
+  };
+
+  std::vector<ExecContext> contexts(dop_);
+  std::vector<std::vector<GatherRow>> runs(dop_);
+  ThreadPool pool(dop_);
+  std::vector<Status> statuses = pool.RunOnAllWorkers([&](int w) -> Status {
+    contexts[w].set_memory_budget_bytes(memory_budget_bytes);
+    Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
+                            &runs[w]);
+    if (!st.ok()) abort_all(st);
+    return st;
+  });
+  for (const Status& st : statuses) {
+    // Prefer a non-abort status if one exists; all failures here share the
+    // same root cause anyway (abort propagates the first error).
+    if (!st.ok()) return st;
+  }
+
+  ParallelRunResult result;
+  result.used_dop = dop_;
+  for (int w = 0; w < dop_; ++w) {
+    contexts[w].counters().AssertNonNegative();
+    result.counters += contexts[w].counters();
+    if (shapes[w].filter_join != nullptr) {
+      result.has_filter_join = true;
+      const FilterJoinMeasured& m = shapes[w].filter_join->measured();
+      result.filter_join_measured.production += m.production;
+      result.filter_join_measured.projection += m.projection;
+      result.filter_join_measured.avail_filter += m.avail_filter;
+      result.filter_join_measured.filter_inner += m.filter_inner;
+      result.filter_join_measured.final_join += m.final_join;
+      // Only the coordinator observed the filter set; peers report 0.
+      result.filter_set_size +=
+          shapes[w].filter_join->last_filter_set_size();
+    }
+  }
+
+  GatherOp gather(replicas[0]->schema(), std::move(runs));
+  ExecContext gather_ctx;  // GatherOp charges nothing
+  MAGICDB_ASSIGN_OR_RETURN(result.rows,
+                           ExecuteToVector(&gather, &gather_ctx));
+  MAGICDB_CHECK(gather_ctx.counters().TotalCost() == 0.0);
+  return result;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,73 @@
+#ifndef MAGICDB_PARALLEL_PARALLEL_EXEC_H_
+#define MAGICDB_PARALLEL_PARALLEL_EXEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/cost_counters.h"
+#include "src/common/statusor.h"
+#include "src/exec/filter_join_op.h"
+#include "src/exec/operator.h"
+
+namespace magicdb {
+
+/// Outcome of one (possibly parallel) pipeline execution.
+struct ParallelRunResult {
+  std::vector<Tuple> rows;
+
+  /// Per-worker counters merged at pipeline close. The charging protocol
+  /// (every row's work charged by exactly one worker, whole-relation
+  /// charges by exactly one designated worker) makes these identical to a
+  /// single-threaded execution's counters at any DoP.
+  CostCounters counters;
+
+  /// Degree of parallelism actually used (1 after a fallback).
+  int used_dop = 1;
+
+  /// Why the plan ran single-threaded; empty when it ran parallel.
+  std::string fallback_reason;
+
+  /// Summed Table-1 phase measurements of the plan's Filter Join, if any.
+  bool has_filter_join = false;
+  FilterJoinMeasured filter_join_measured;
+  int64_t filter_set_size = 0;
+};
+
+/// Morsel-driven parallel executor. Takes `dop` isomorphic plan replicas
+/// (the optimizer is deterministic, so optimizing the same query `dop`
+/// times yields identical trees), wires shared state into each — a
+/// MorselSource per scanned base table, a SharedHashBuild per hash join, a
+/// SharedFilterJoin for the (at most one) topmost Filter Join — and runs
+/// one replica per worker on a work-stealing pool. Output rows are tagged
+/// with their driving-scan position and gather-merged, so results are
+/// byte-identical to DoP=1.
+///
+/// Parallel-safe plan shape (anything else falls back to sequential):
+///
+///   [Project|Filter]* -> [FilterJoin]? -> ([Project|Filter]* HashJoin)*
+///     -> SeqScan                         (each HashJoin inner:
+///                                          [Project|Filter]* -> SeqScan)
+class ParallelExecutor {
+ public:
+  /// `dop` >= 1; clamped up to 1.
+  explicit ParallelExecutor(int dop);
+
+  /// Runs the pipeline. `replicas` must contain either `dop` isomorphic
+  /// plans, or at least one plan (fallback runs replicas[0]). Consumes the
+  /// replicas.
+  StatusOr<ParallelRunResult> Run(std::vector<OpPtr> replicas,
+                                  int64_t memory_budget_bytes);
+
+  int dop() const { return dop_; }
+
+  /// Why `root` cannot run parallel; empty string == parallel-safe.
+  /// Exposed for tests and EXPLAIN-style diagnostics.
+  static std::string UnsafeReason(const Operator& root);
+
+ private:
+  int dop_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_PARALLEL_PARALLEL_EXEC_H_

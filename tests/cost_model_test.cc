@@ -46,8 +46,9 @@ TEST(CostsTest, SortChargesExternalPassOnlyOverBudget) {
 TEST(CostsTest, ShipScalesWithBytesAndMessages) {
   EXPECT_DOUBLE_EQ(costs::Ship(0, 8), 0.0);
   const double small = costs::Ship(10, 8);
-  // 80 bytes: one message + byte cost.
-  EXPECT_DOUBLE_EQ(small, CostConstants::kMessageCost +
+  // 80 bytes: the open message plus one short trailing-page message, plus
+  // byte cost (ShipOp flushes the final partial page at Close).
+  EXPECT_DOUBLE_EQ(small, 2 * CostConstants::kMessageCost +
                               80 * CostConstants::kBytePerCost);
   // 1000x the data is much costlier, but sub-linearly: the fixed
   // per-message cost dominates the small transfer.
