@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "workloads/json_writer.h"
 #include "workloads/table_printer.h"
 #include "workloads/workloads.h"
 
@@ -72,8 +73,9 @@ const char* kTwoWayJoinQuery =
     "SELECT E.did, E.sal, D.budget FROM Emp E, Dept D "
     "WHERE E.did = D.did AND E.age < 30 AND D.budget > 100000";
 
-void PrintScalingTable(const char* title, const char* query,
-                       OptimizerOptions::MagicMode mode) {
+void PrintScalingTable(const char* title, const char* plan_key,
+                       const char* query, OptimizerOptions::MagicMode mode,
+                       Json* json_results) {
   Figure1Options opts;
   opts.num_depts = 2000;
   opts.emps_per_dept = 50;  // Emp = 100k rows: enough work to share
@@ -97,42 +99,66 @@ void PrintScalingTable(const char* title, const char* query,
     QueryResult result;
     const double ms = MedianWallMs(db.get(), query, dop, &result);
     if (dop == 1) {
-      base = std::move(result);
       base_ms = ms;
-      table.AddRow({"1", "1", Fmt(ms), "1.00",
-                    Fmt(base.counters.TotalCost()),
-                    std::to_string(base.rows.size()), "-"});
-      continue;
+    } else {
+      CheckIdentical(base, result);
     }
-    CheckIdentical(base, result);
+    const double speedup = dop == 1 ? 1.0 : base_ms / std::max(1e-9, ms);
     table.AddRow({std::to_string(dop), std::to_string(result.used_dop),
-                  Fmt(ms), Fmt(base_ms / std::max(1e-9, ms)),
-                  Fmt(result.counters.TotalCost()),
+                  Fmt(ms), Fmt(speedup), Fmt(result.counters.TotalCost()),
                   std::to_string(result.rows.size()),
                   result.parallel_fallback_reason.empty()
                       ? "-"
                       : result.parallel_fallback_reason});
+    if (json_results != nullptr) {
+      json_results->Append(
+          Json::Object()
+              .Set("plan", plan_key)
+              .Set("dop", dop)
+              .Set("used_dop", result.used_dop)
+              .Set("wall_ms_median", ms)
+              .Set("speedup", speedup)
+              .Set("measured_cost", result.counters.TotalCost())
+              .Set("rows", static_cast<int64_t>(result.rows.size()))
+              .Set("fallback_reason", result.parallel_fallback_reason));
+    }
+    if (dop == 1) base = std::move(result);
   }
   table.Print();
   std::cout << "(rows and merged counters verified identical to dop=1 at "
                "every dop)\n\n";
 }
 
-void PrintScaling() {
+void PrintScaling(const std::string& json_path) {
   std::cout << "hardware threads detected: "
             << std::thread::hardware_concurrency()
             << " — speedup beyond that count is not expected\n\n";
+  Json results = Json::Array();
+  Json* out = json_path.empty() ? nullptr : &results;
   PrintScalingTable("Parallel scaling, two-way hash-join plan",
-                    kTwoWayJoinQuery, OptimizerOptions::MagicMode::kNever);
+                    "two_way_hash_join", kTwoWayJoinQuery,
+                    OptimizerOptions::MagicMode::kNever, out);
   PrintScalingTable("Parallel scaling, magic FilterJoin plan",
-                    kFigure1Query,
-                    OptimizerOptions::MagicMode::kAlwaysOnVirtual);
+                    "magic_filter_join", kFigure1Query,
+                    OptimizerOptions::MagicMode::kAlwaysOnVirtual, out);
+  if (out != nullptr) {
+    Json doc = Json::Object()
+                   .Set("benchmark", "bench_parallel_scaling")
+                   .Set("hardware_threads",
+                        static_cast<int64_t>(
+                            std::thread::hardware_concurrency()))
+                   .Set("repetitions", kRepetitions)
+                   .Set("results", std::move(results));
+    if (WriteJsonFile(json_path, doc)) {
+      std::cout << "JSON results written to " << json_path << "\n";
+    }
+  }
 }
 
 }  // namespace
 }  // namespace magicdb::bench
 
-int main() {
-  magicdb::bench::PrintScaling();
+int main(int argc, char** argv) {
+  magicdb::bench::PrintScaling(magicdb::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

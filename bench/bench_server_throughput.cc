@@ -1,0 +1,188 @@
+// Closed-loop throughput of the query service (src/server): N sessions,
+// each on its own thread, firing a mixed statement workload back-to-back
+// at one shared QueryService. Reports QPS, p50/p95/p99 query latency (from
+// the service's own histogram), and the plan-cache hit rate, at per-query
+// DoP 1, 2 and 4.
+//
+// Correctness is asserted, not assumed: every session compares each result
+// against a sequential Database::Query() baseline captured before the
+// service starts — any row or counter divergence aborts the bench.
+//
+// Throughput is hardware-bound; the header prints the detected core count.
+// `--json <path>` additionally writes the table as a JSON document.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/server/query_service.h"
+#include "src/server/session.h"
+#include "workloads/json_writer.h"
+#include "workloads/table_printer.h"
+#include "workloads/workloads.h"
+
+namespace magicdb::bench {
+namespace {
+
+constexpr int kSessions = 4;
+constexpr int kQueriesPerSession = 40;
+
+const char* kStatements[] = {
+    kFigure1Query,
+    kFigure1QueryYoungOnly,
+    "SELECT E.did, E.sal, D.budget FROM Emp E, Dept D "
+    "WHERE E.did = D.did AND E.age < 30 AND D.budget > 100000",
+};
+constexpr int kNumStatements = 3;
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << v;
+  return os.str();
+}
+
+void CheckIdentical(const QueryResult& base, const QueryResult& got) {
+  MAGICDB_CHECK(got.rows.size() == base.rows.size());
+  for (size_t i = 0; i < base.rows.size(); ++i) {
+    MAGICDB_CHECK(CompareTuples(got.rows[i], base.rows[i]) == 0);
+  }
+  MAGICDB_CHECK(got.counters.pages_read == base.counters.pages_read);
+  MAGICDB_CHECK(got.counters.tuples_processed ==
+                base.counters.tuples_processed);
+  MAGICDB_CHECK(got.counters.exprs_evaluated == base.counters.exprs_evaluated);
+  MAGICDB_CHECK(got.counters.hash_operations == base.counters.hash_operations);
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+  int64_t morsels_stolen = 0;
+};
+
+RunResult RunClosedLoop(Database* db, const std::vector<QueryResult>& baseline,
+                        int dop) {
+  QueryServiceOptions so;
+  so.pool_threads = 4;
+  QueryService service(db, so);
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.CreateSession());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      Session* session = sessions[s].get();
+      ExecOptions exec;
+      exec.dop = dop;
+      for (int i = 0; i < kQueriesPerSession; ++i) {
+        const int qi = (s + i) % kNumStatements;
+        auto r = session->Query(kStatements[qi], exec);
+        MAGICDB_CHECK_OK(r.status());
+        CheckIdentical(baseline[qi], *r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ServiceStats stats = service.StatsSnapshot();
+  MAGICDB_CHECK(stats.queries_completed == kSessions * kQueriesPerSession);
+  RunResult out;
+  out.qps = static_cast<double>(stats.queries_completed) / elapsed_s;
+  out.p50_us = stats.query_latency_us_p50;
+  out.p95_us = stats.query_latency_us_p95;
+  out.p99_us = stats.query_latency_us_p99;
+  out.hit_rate = static_cast<double>(stats.plan_cache_hits) /
+                 static_cast<double>(stats.plan_cache_hits +
+                                     stats.plan_cache_misses);
+  out.morsels_stolen = stats.morsels_stolen;
+  return out;
+}
+
+void Run(const std::string& json_path) {
+  std::cout << "hardware threads detected: "
+            << std::thread::hardware_concurrency() << "\n";
+  std::cout << "closed loop: " << kSessions << " sessions x "
+            << kQueriesPerSession << " queries, " << kNumStatements
+            << " distinct statements, shared pool of 4 workers\n\n";
+
+  Figure1Options opts;
+  opts.num_depts = 500;
+  opts.emps_per_dept = 20;
+  opts.young_frac = 0.05;
+  opts.big_frac = 0.05;
+  opts.build_indexes = false;
+  auto db = MakeFigure1Database(opts);
+  auto* options = db->mutable_optimizer_options();
+  options->enable_nested_loops = false;
+  options->enable_index_nested_loops = false;
+  options->enable_sort_merge = false;
+
+  // Sequential ground truth for every statement, before the service runs.
+  std::vector<QueryResult> baseline;
+  for (const char* q : kStatements) {
+    auto r = db->Query(q);
+    MAGICDB_CHECK_OK(r.status());
+    baseline.push_back(std::move(*r));
+  }
+
+  TablePrinter table({"dop", "qps", "p50_us", "p95_us", "p99_us",
+                      "plan_cache_hit_rate", "morsels_stolen"});
+  Json results = Json::Array();
+  for (int dop : {1, 2, 4}) {
+    const RunResult r = RunClosedLoop(db.get(), baseline, dop);
+    table.AddRow({std::to_string(dop), Fmt(r.qps), Fmt(r.p50_us),
+                  Fmt(r.p95_us), Fmt(r.p99_us), Fmt(r.hit_rate),
+                  std::to_string(r.morsels_stolen)});
+    results.Append(Json::Object()
+                       .Set("dop", dop)
+                       .Set("qps", r.qps)
+                       .Set("p50_us", r.p50_us)
+                       .Set("p95_us", r.p95_us)
+                       .Set("p99_us", r.p99_us)
+                       .Set("plan_cache_hit_rate", r.hit_rate)
+                       .Set("morsels_stolen", r.morsels_stolen));
+  }
+  table.Print();
+  std::cout << "(every result verified byte-identical to Database::Query(), "
+               "counters exact)\n";
+
+  if (!json_path.empty()) {
+    Json doc = Json::Object()
+                   .Set("benchmark", "bench_server_throughput")
+                   .Set("hardware_threads",
+                        static_cast<int64_t>(
+                            std::thread::hardware_concurrency()))
+                   .Set("sessions", kSessions)
+                   .Set("queries_per_session", kQueriesPerSession)
+                   .Set("pool_threads", 4)
+                   .Set("results", std::move(results));
+    if (WriteJsonFile(json_path, doc)) {
+      std::cout << "JSON results written to " << json_path << "\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace magicdb::bench
+
+int main(int argc, char** argv) {
+  magicdb::bench::Run(magicdb::bench::JsonPathFromArgs(argc, argv));
+  return 0;
+}

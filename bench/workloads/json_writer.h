@@ -1,0 +1,184 @@
+#ifndef MAGICDB_BENCH_WORKLOADS_JSON_WRITER_H_
+#define MAGICDB_BENCH_WORKLOADS_JSON_WRITER_H_
+
+// Minimal JSON emitter for bench binaries' --json output. Build a tree of
+// Json values (objects keep insertion order so files diff cleanly across
+// runs), then Dump() or WriteJsonFile(). No parsing, no dependencies.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace magicdb::bench {
+
+class Json {
+ public:
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string s) {
+    Json j(Kind::kString);
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json Num(double v) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static Json Int(int64_t v) {
+    Json j(Kind::kInt);
+    j.int_ = v;
+    return j;
+  }
+  static Json Bool(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  // Object field setters (chainable). Using on a non-object is a no-op.
+  Json& Set(const std::string& key, Json value) {
+    if (kind_ == Kind::kObject) fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& Set(const std::string& key, const std::string& v) {
+    return Set(key, Str(v));
+  }
+  Json& Set(const std::string& key, const char* v) { return Set(key, Str(v)); }
+  Json& Set(const std::string& key, double v) { return Set(key, Num(v)); }
+  Json& Set(const std::string& key, int64_t v) { return Set(key, Int(v)); }
+  Json& Set(const std::string& key, int v) {
+    return Set(key, Int(static_cast<int64_t>(v)));
+  }
+  Json& Set(const std::string& key, bool v) { return Set(key, Bool(v)); }
+
+  // Array append.
+  Json& Append(Json value) {
+    if (kind_ == Kind::kArray) items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string Dump(int indent = 2) const {
+    std::ostringstream os;
+    Write(os, indent, 0);
+    os << "\n";
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kInt, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void Escape(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os << buf;
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+
+  void Write(std::ostream& os, int indent, int depth) const {
+    const std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<size_t>(indent) * depth, ' ');
+    switch (kind_) {
+      case Kind::kObject: {
+        if (fields_.empty()) {
+          os << "{}";
+          return;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+          os << pad;
+          Escape(os, fields_[i].first);
+          os << ": ";
+          fields_[i].second.Write(os, indent, depth + 1);
+          os << (i + 1 < fields_.size() ? ",\n" : "\n");
+        }
+        os << close_pad << "}";
+        return;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) {
+          os << "[]";
+          return;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          os << pad;
+          items_[i].Write(os, indent, depth + 1);
+          os << (i + 1 < items_.size() ? ",\n" : "\n");
+        }
+        os << close_pad << "]";
+        return;
+      }
+      case Kind::kString:
+        Escape(os, str_);
+        return;
+      case Kind::kNumber: {
+        std::ostringstream num;
+        num.setf(std::ios::fixed);
+        num.precision(6);
+        num << num_;
+        os << num.str();
+        return;
+      }
+      case Kind::kInt:
+        os << int_;
+        return;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        return;
+    }
+  }
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> items_;
+  std::string str_;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool bool_ = false;
+};
+
+/// Writes `json` to `path`; returns false (with a message on stderr) when
+/// the file cannot be opened.
+inline bool WriteJsonFile(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write JSON output to " << path << "\n";
+    return false;
+  }
+  out << json.Dump();
+  return static_cast<bool>(out);
+}
+
+/// Pulls the value following `--json` out of argv; empty = not requested.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace magicdb::bench
+
+#endif  // MAGICDB_BENCH_WORKLOADS_JSON_WRITER_H_

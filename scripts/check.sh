@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Two-build gate for the parallel execution subsystem:
+# Three-build gate for the concurrent subsystems (src/parallel, src/server):
 #   1. Release build, full test suite (correctness + cost-identity tests);
-#   2. ThreadSanitizer build, full test suite (barrier/steal/merge races).
+#   2. ThreadSanitizer build, full test suite (barrier/steal/merge and
+#      admission/plan-cache/cancellation races);
+#   3. AddressSanitizer+UndefinedBehaviorSanitizer build, full test suite
+#      (lifetime bugs in pooled plan instances, cancellation unwinds, and
+#      UB anywhere; MAGICDB_SANITIZE=address enables both).
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,5 +22,11 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== AddressSanitizer+UBSan build ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMAGICDB_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 
 echo "All checks passed."

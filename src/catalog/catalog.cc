@@ -20,6 +20,7 @@ StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   entry.schema = qualified;
   entry.table = table;
   entries_.emplace(name, std::move(entry));
+  BumpEpoch();
   return table;
 }
 
@@ -40,6 +41,7 @@ StatusOr<Table*> Catalog::CreateRemoteTable(const std::string& name,
   entry.table = table;
   entry.site = site;
   entries_.emplace(name, std::move(entry));
+  BumpEpoch();
   return table;
 }
 
@@ -52,6 +54,7 @@ Status Catalog::RegisterView(const std::string& name, LogicalPtr plan) {
   entry.schema = plan->schema().WithQualifier(name);
   entry.view_plan = std::move(plan);
   entries_.emplace(name, std::move(entry));
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -67,6 +70,7 @@ Status Catalog::RegisterFunction(std::unique_ptr<TableFunction> function) {
   entry.schema = fn->RelationSchema().WithQualifier(name);
   entry.function = fn;
   entries_.emplace(name, std::move(entry));
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -90,6 +94,7 @@ Status Catalog::Analyze(const std::string& name, int histogram_buckets) {
   }
   entry.stats = TableStats::Analyze(*entry.table, histogram_buckets);
   entry.stats_valid = true;
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -100,6 +105,7 @@ Status Catalog::AnalyzeAll(int histogram_buckets) {
       entry.stats_valid = true;
     }
   }
+  BumpEpoch();
   return Status::OK();
 }
 

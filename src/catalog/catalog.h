@@ -1,6 +1,8 @@
 #ifndef MAGICDB_CATALOG_CATALOG_H_
 #define MAGICDB_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -79,8 +81,20 @@ class Catalog {
 
   std::vector<std::string> RelationNames() const;
 
+  /// Monotonic version of everything a cached plan depends on: bumped by
+  /// every DDL (CreateTable / CreateRemoteTable / RegisterView /
+  /// RegisterFunction) and by Analyze (statistics steer plan choice, so a
+  /// plan cached under old stats must not be reused). Plan caches key their
+  /// validity on this; readers may poll it concurrently with (externally
+  /// serialized) DDL, hence the atomic.
+  int64_t ddl_epoch() const { return ddl_epoch_.load(std::memory_order_acquire); }
+
  private:
   Status CheckNameFree(const std::string& name) const;
+
+  void BumpEpoch() { ddl_epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  std::atomic<int64_t> ddl_epoch_{0};
 
   std::map<std::string, CatalogEntry> entries_;
   std::vector<std::unique_ptr<Table>> tables_;

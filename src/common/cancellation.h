@@ -1,0 +1,99 @@
+#ifndef MAGICDB_COMMON_CANCELLATION_H_
+#define MAGICDB_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "src/common/status.h"
+
+namespace magicdb {
+
+/// Cooperative cancellation token shared between a query's submitter and
+/// every thread executing on its behalf. The executor never preempts:
+/// long-running loops (morsel claims, page boundaries, the row pump) call
+/// Check() and unwind with the returned non-OK Status, which the parallel
+/// barriers' abort path then propagates to peer workers.
+///
+/// Thread-safe. Cancellation is sticky: once Check() has observed a
+/// cancel/deadline, every later Check() returns the same code. A token is
+/// single-use — make a fresh one per query.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Requests cancellation. Idempotent; a deadline that already fired wins
+  /// (the first observed cause is the one reported).
+  void Cancel() {
+    int expected = kLive;
+    state_.compare_exchange_strong(expected, kCancelled,
+                                   std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) an absolute deadline. Checked lazily by Check().
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `timeout` from now. Non-positive timeouts expire
+  /// immediately (useful for tests).
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// OK while live; Cancelled / DeadlineExceeded once the token fired.
+  /// Reads the clock only when a deadline is armed.
+  Status Check() const {
+    int state = state_.load(std::memory_order_relaxed);
+    if (state == kLive) {
+      const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+      if (deadline != kNoDeadline &&
+          std::chrono::steady_clock::now().time_since_epoch().count() >=
+              deadline) {
+        int expected = kLive;
+        state_.compare_exchange_strong(expected, kDeadline,
+                                       std::memory_order_relaxed);
+        state = state_.load(std::memory_order_relaxed);
+      }
+    }
+    switch (state) {
+      case kLive:
+        return Status::OK();
+      case kCancelled:
+        return Status::Cancelled("query cancelled");
+      default:
+        return Status::DeadlineExceeded("query deadline exceeded");
+    }
+  }
+
+  bool IsCancelled() const { return !Check().ok(); }
+
+  /// Nanoseconds until the armed deadline (negative if already past);
+  /// nullopt semantics via `has_deadline`.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  std::chrono::steady_clock::time_point deadline() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+ private:
+  static constexpr int kLive = 0;
+  static constexpr int kCancelled = 1;
+  static constexpr int kDeadline = 2;
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  mutable std::atomic<int> state_{kLive};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_CANCELLATION_H_

@@ -1,0 +1,99 @@
+#ifndef MAGICDB_COMMON_METRICS_H_
+#define MAGICDB_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace magicdb {
+
+/// Monotonic atomic counter. Writers call Add/Increment from any thread;
+/// Value() is a relaxed read (metrics tolerate slight staleness).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Overwrites the value — for counters mirrored from an external source
+  /// (e.g. the thread pool's steal count).
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram with exponential (powers-of-two) bucket
+/// bounds: bucket i counts observations in [2^i, 2^(i+1)) units, bucket 0
+/// additionally absorbs 0. With microsecond observations the range spans
+/// 1us .. ~1.1h, which covers admission waits and query latencies.
+///
+/// Thread-safe: buckets, count and sum are relaxed atomics; a snapshot is
+/// not an atomic cut across them, which is fine for monitoring.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  void Observe(int64_t value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const int64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  /// Estimated value at quantile `q` in [0, 1]: finds the bucket holding
+  /// the q-th observation and interpolates linearly inside it. Exact to
+  /// within one bucket's width (a factor of two).
+  double Quantile(double q) const;
+
+  /// Inclusive upper bound of bucket `i`.
+  static int64_t BucketUpperBound(int i);
+
+  std::array<int64_t, kNumBuckets> BucketCounts() const;
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Name -> metric registry. Registration happens once (typically at
+/// subsystem construction) and returns stable pointers; the hot path then
+/// touches only the atomic metric itself. Names follow the
+/// `magicdb_<subsystem>_<what>_total` / `_us` convention used by the text
+/// dump.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* counter(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use.
+  LatencyHistogram* histogram(const std::string& name);
+
+  /// Point-in-time values of every registered counter (name -> value).
+  std::map<std::string, int64_t> CounterValues() const;
+
+  /// Human-readable dump of every metric, sorted by name: counters as
+  /// `name value`, histograms as `name count=N sum=S p50=.. p95=.. p99=..`.
+  std::string TextDump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_METRICS_H_

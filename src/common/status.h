@@ -19,6 +19,9 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kTypeError,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -67,6 +70,15 @@ class Status {
   }
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -89,50 +89,77 @@ Status Database::LoadRows(const std::string& table, std::vector<Tuple> rows) {
 }
 
 StatusOr<LogicalPtr> Database::Bind(const std::string& sql) {
+  MAGICDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(sql));
+  return bound.plan;
+}
+
+StatusOr<BoundSelect> Database::BindSelect(const std::string& sql) const {
   MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != Statement::Kind::kSelect) {
     return Status::InvalidArgument("expected a SELECT statement");
   }
   Binder binder(&catalog_);
-  return binder.BindSelect(*stmt.select);
+  BoundSelect bound;
+  MAGICDB_ASSIGN_OR_RETURN(bound.plan, binder.BindSelect(*stmt.select));
+  bound.limit = stmt.select->limit;
+  return bound;
+}
+
+StatusOr<PlannedSelect> Database::PlanSelect(
+    const std::string& sql, const OptimizerOptions& options) const {
+  MAGICDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(sql));
+  return PlanBound(bound, options);
+}
+
+StatusOr<PlannedSelect> Database::PlanBound(
+    const BoundSelect& bound, const OptimizerOptions& options) const {
+  Optimizer optimizer(&catalog_, options);
+  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized,
+                           optimizer.Optimize(bound.plan));
+  PlannedSelect planned;
+  planned.bound = bound;
+  planned.schema = bound.plan->schema();
+  planned.root = std::move(optimized.root);
+  if (bound.limit >= 0) {
+    planned.root =
+        std::make_unique<LimitOp>(std::move(planned.root), bound.limit);
+  }
+  planned.explain = std::move(optimized.explain);
+  planned.est_cost = optimized.est_cost;
+  planned.est_rows = optimized.est_rows;
+  planned.filter_joins = std::move(optimized.filter_joins);
+  planned.optimizer_stats = optimizer.stats();
+  return planned;
+}
+
+void CollectFilterJoinMeasured(const Operator& root,
+                               std::vector<FilterJoinMeasured>* out) {
+  if (const auto* fj = dynamic_cast<const FilterJoinOp*>(&root)) {
+    out->push_back(fj->measured());
+  }
+  for (const Operator* child : root.Children()) {
+    CollectFilterJoinMeasured(*child, out);
+  }
 }
 
 StatusOr<QueryResult> Database::Query(const std::string& sql) {
-  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  if (stmt.kind != Statement::Kind::kSelect) {
-    return Status::InvalidArgument("expected a SELECT statement");
-  }
-  Binder binder(&catalog_);
-  MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan, binder.BindSelect(*stmt.select));
-
-  Optimizer optimizer(&catalog_, optimizer_options_);
-  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized, optimizer.Optimize(plan));
-
-  OpPtr root = std::move(optimized.root);
-  if (stmt.select->limit >= 0) {
-    root = std::make_unique<LimitOp>(std::move(root), stmt.select->limit);
-  }
-
+  MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                           PlanSelect(sql, optimizer_options_));
   QueryResult result;
-  result.schema = plan->schema();
-  result.explain = optimized.explain;
-  result.est_cost = optimized.est_cost;
-  result.est_rows = optimized.est_rows;
-  result.filter_joins = optimized.filter_joins;
-  result.optimizer_stats = optimizer.stats();
+  result.schema = planned.schema;
+  result.explain = std::move(planned.explain);
+  result.est_cost = planned.est_cost;
+  result.est_rows = planned.est_rows;
+  result.filter_joins = std::move(planned.filter_joins);
+  result.optimizer_stats = planned.optimizer_stats;
 
   ExecContext ctx;
   ctx.set_memory_budget_bytes(optimizer_options_.memory_budget_bytes);
-  MAGICDB_ASSIGN_OR_RETURN(result.rows, ExecuteToVector(root.get(), &ctx));
+  MAGICDB_ASSIGN_OR_RETURN(result.rows,
+                           ExecuteToVector(planned.root.get(), &ctx));
   result.counters = ctx.counters();
   // Collect measured per-phase Filter Join costs from the executed tree.
-  std::function<void(const Operator&)> collect = [&](const Operator& op) {
-    if (const auto* fj = dynamic_cast<const FilterJoinOp*>(&op)) {
-      result.filter_join_measured.push_back(fj->measured());
-    }
-    for (const Operator* child : op.Children()) collect(*child);
-  };
-  collect(*root);
+  CollectFilterJoinMeasured(*planned.root, &result.filter_join_measured);
   return result;
 }
 
@@ -142,12 +169,7 @@ StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
     const unsigned hw = std::thread::hardware_concurrency();
     dop = hw > 0 ? static_cast<int>(hw) : 1;
   }
-  MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  if (stmt.kind != Statement::Kind::kSelect) {
-    return Status::InvalidArgument("expected a SELECT statement");
-  }
-  Binder binder(&catalog_);
-  MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan, binder.BindSelect(*stmt.select));
+  MAGICDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(sql));
 
   // One optimizer pass per worker replica: Optimize() is deterministic, so
   // the trees are isomorphic and the executor verifies that before wiring
@@ -155,35 +177,31 @@ StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
   // degree_of_parallelism costing knob included), never the execution dop —
   // every dop must run the identical plan or the counter-identity guarantee
   // would be comparing different plans.
-  Optimizer optimizer(&catalog_, optimizer_options_);
-  MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized, optimizer.Optimize(plan));
+  MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                           PlanBound(bound, optimizer_options_));
 
   QueryResult result;
-  result.schema = plan->schema();
-  result.explain = optimized.explain;
-  result.est_cost = optimized.est_cost;
-  result.est_rows = optimized.est_rows;
-  result.filter_joins = optimized.filter_joins;
-  result.optimizer_stats = optimizer.stats();
+  result.schema = planned.schema;
+  result.explain = std::move(planned.explain);
+  result.est_cost = planned.est_cost;
+  result.est_rows = planned.est_rows;
+  result.filter_joins = std::move(planned.filter_joins);
+  result.optimizer_stats = planned.optimizer_stats;
 
   std::vector<OpPtr> replicas;
-  replicas.push_back(std::move(optimized.root));
+  replicas.push_back(std::move(planned.root));
   // LIMIT cuts the stream early; workers would race for the quota, so run
   // it sequentially (the analyzer would reject LimitOp anyway — this path
-  // just avoids planning dop replicas for nothing).
-  const bool has_limit = stmt.select->limit >= 0;
+  // just avoids planning dop replicas for nothing). PlanBound already
+  // wrapped replicas[0] in the LimitOp.
+  const bool has_limit = bound.limit >= 0;
   if (!has_limit && dop > 1 &&
       ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
     for (int w = 1; w < dop; ++w) {
-      Optimizer replica_optimizer(&catalog_, optimizer_options_);
-      MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan replica,
-                               replica_optimizer.Optimize(plan));
+      MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
+                               PlanBound(bound, optimizer_options_));
       replicas.push_back(std::move(replica.root));
     }
-  }
-  if (has_limit) {
-    replicas[0] = std::make_unique<LimitOp>(std::move(replicas[0]),
-                                            stmt.select->limit);
   }
 
   ParallelExecutor executor(has_limit ? 1 : dop);

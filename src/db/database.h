@@ -40,6 +40,34 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+/// Appends the measured per-phase costs of every FilterJoin in the executed
+/// tree, outermost first (the order QueryResult::filter_join_measured
+/// documents).
+void CollectFilterJoinMeasured(const Operator& root,
+                               std::vector<FilterJoinMeasured>* out);
+
+/// Parse+bind output of one SELECT. The logical plan is immutable and
+/// shared (`LogicalPtr` is a shared_ptr-to-const), so a BoundSelect can be
+/// cached and re-planned concurrently — the query service's plan cache
+/// keeps one per statement to skip parse+bind on repeated executions.
+struct BoundSelect {
+  LogicalPtr plan;
+  int64_t limit = -1;  ///< -1 = no LIMIT clause.
+};
+
+/// A fully planned SELECT, ready to execute: the physical root (with any
+/// LIMIT already applied) plus the optimizer's estimates and diagnostics.
+struct PlannedSelect {
+  BoundSelect bound;
+  OpPtr root;
+  Schema schema;
+  std::string explain;
+  double est_cost = 0.0;
+  double est_rows = 0.0;
+  std::vector<FilterJoinCostBreakdown> filter_joins;
+  OptimizerStats optimizer_stats;
+};
+
 /// Top-level embedded-database facade tying catalog, SQL front end,
 /// optimizer and executor together. Typical use:
 ///
@@ -83,6 +111,24 @@ class Database {
 
   /// Parses and binds a SELECT into a logical plan (no optimization).
   StatusOr<LogicalPtr> Bind(const std::string& sql);
+
+  /// Parses and binds a SELECT, keeping the LIMIT clause alongside the
+  /// logical plan. Const and thread-compatible: concurrent callers are safe
+  /// as long as no DDL runs concurrently (the query service serializes DDL
+  /// against queries with a shared/exclusive lock).
+  StatusOr<BoundSelect> BindSelect(const std::string& sql) const;
+
+  /// Parse + bind + optimize under explicit options. The returned root is
+  /// directly executable (LIMIT applied).
+  StatusOr<PlannedSelect> PlanSelect(const std::string& sql,
+                                     const OptimizerOptions& options) const;
+
+  /// Re-plans an already-bound SELECT (skips parse+bind). The optimizer is
+  /// deterministic, so planning the same BoundSelect under the same options
+  /// and catalog epoch always yields an isomorphic physical tree — the
+  /// property both the plan cache and parallel replica planning rely on.
+  StatusOr<PlannedSelect> PlanBound(const BoundSelect& bound,
+                                    const OptimizerOptions& options) const;
 
  private:
   Catalog catalog_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/bloom/bloom_filter.h"
+#include "src/common/cancellation.h"
 #include "src/common/cost_counters.h"
 #include "src/common/statusor.h"
 #include "src/types/schema.h"
@@ -71,6 +72,20 @@ class ExecContext {
   int64_t memory_budget_bytes() const { return memory_budget_bytes_; }
   void set_memory_budget_bytes(int64_t b) { memory_budget_bytes_ = b; }
 
+  /// Attaches a cooperative cancellation token. Operators and drivers call
+  /// CheckCancelled() at coarse-grained checkpoints (page boundaries,
+  /// morsel claims, pump quanta) and unwind with the returned Status.
+  void set_cancel_token(CancelTokenPtr token) {
+    cancel_token_ = std::move(token);
+  }
+  const CancelTokenPtr& cancel_token() const { return cancel_token_; }
+
+  /// OK when no token is attached or the token is live; otherwise the
+  /// Cancelled / DeadlineExceeded status the query must unwind with.
+  Status CheckCancelled() const {
+    return cancel_token_ == nullptr ? Status::OK() : cancel_token_->Check();
+  }
+
   void BindFilterSet(const std::string& id,
                      std::shared_ptr<FilterSetBinding> binding) {
     filter_sets_[id] = std::move(binding);
@@ -93,6 +108,7 @@ class ExecContext {
 
  private:
   CostCounters counters_;
+  CancelTokenPtr cancel_token_;
   int64_t memory_budget_bytes_ = 4 * 1024 * 1024;
   std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
   int64_t next_filter_set_id_ = 0;

@@ -30,6 +30,11 @@ StatusOr<std::vector<Tuple>> ExecuteToVector(Operator* root,
     MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
     if (eof) break;
     rows.push_back(std::move(t));
+    // Cancellation checkpoint for plans whose output loop dominates (the
+    // scan-level checkpoints cover the blocking build phases).
+    if ((rows.size() & 1023) == 0) {
+      MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+    }
   }
   MAGICDB_RETURN_IF_ERROR(root->Close());
   return rows;

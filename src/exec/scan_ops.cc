@@ -19,6 +19,10 @@ Status SeqScanOp::Open(ExecContext* ctx) {
 Status SeqScanOp::Next(Tuple* out, bool* eof) {
   if (morsels_ != nullptr) {
     while (!have_morsel_ || next_row_ >= morsel_.end) {
+      // Morsel claims are the scan's cancellation checkpoint in parallel
+      // mode: a cancelled worker stops claiming work and unwinds before
+      // its next barrier, letting the abort path release its peers.
+      MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
       if (!morsels_->Next(&morsel_)) {
         *eof = true;
         return Status::OK();
@@ -33,6 +37,10 @@ Status SeqScanOp::Next(Tuple* out, bool* eof) {
   }
   if (next_row_ % rows_per_page_ == 0) {
     ctx_->counters().pages_read += 1;
+    // Page boundaries are the sequential checkpoint: every blocking loop
+    // (hash build, aggregation, sort input) bottoms out at a scan, so a
+    // cancelled query unwinds within one page of rows.
+    MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
   }
   ctx_->counters().tuples_processed += 1;
   last_global_row_ = next_row_;
@@ -140,8 +148,9 @@ Status VectorScanOp::Next(Tuple* out, bool* eof) {
     *eof = true;
     return Status::OK();
   }
-  if (charge_pages_ && next_row_ % rows_per_page_ == 0) {
-    ctx_->counters().pages_read += 1;
+  if (next_row_ % rows_per_page_ == 0) {
+    if (charge_pages_) ctx_->counters().pages_read += 1;
+    MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
   }
   ctx_->counters().tuples_processed += 1;
   *out = (*rows_)[next_row_++];

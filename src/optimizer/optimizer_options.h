@@ -75,6 +75,39 @@ struct OptimizerOptions {
   int degree_of_parallelism = 1;
 };
 
+/// Stable serialization of every field that influences plan choice. Plan
+/// caches fold this into their key so that two sessions with different
+/// knobs never share a cached plan. Keep in sync with the struct: a field
+/// missing here would let a stale plan leak across option changes.
+inline std::string OptimizerOptionsFingerprint(const OptimizerOptions& o) {
+  std::string fp;
+  fp.reserve(64);
+  fp += std::to_string(static_cast<int>(o.magic_mode));
+  fp += '|';
+  fp += std::to_string(static_cast<int>(o.filter_join_on_stored));
+  fp += std::to_string(static_cast<int>(o.consider_exact_filter_sets));
+  fp += std::to_string(static_cast<int>(o.consider_bloom_filter_sets));
+  fp += '|';
+  fp += std::to_string(o.bloom_bits_per_key);
+  fp += '|';
+  fp += std::to_string(static_cast<int>(o.consider_partial_key_filter_sets));
+  fp += std::to_string(static_cast<int>(o.explore_prefix_production_sets));
+  fp += '|';
+  fp += std::to_string(o.equivalence_classes);
+  fp += '|';
+  fp += std::to_string(static_cast<int>(o.enable_nested_loops));
+  fp += std::to_string(static_cast<int>(o.enable_index_nested_loops));
+  fp += std::to_string(static_cast<int>(o.enable_hash_join));
+  fp += std::to_string(static_cast<int>(o.enable_sort_merge));
+  fp += std::to_string(static_cast<int>(o.enable_function_memo));
+  fp += std::to_string(static_cast<int>(o.interesting_orders));
+  fp += '|';
+  fp += std::to_string(o.memory_budget_bytes);
+  fp += '|';
+  fp += std::to_string(o.degree_of_parallelism);
+  return fp;
+}
+
 /// Work counters the optimizer accumulates during one Optimize() call;
 /// experiments E5/E7 read these to measure optimization effort.
 struct OptimizerStats {

@@ -105,17 +105,24 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
                             ? shape.filter_join->last_probe_global_pos()
                             : shape.driving_scan->last_global_row();
     run->push_back({pos, std::move(t)});
+    // Morsel-loop cancellation checkpoint (the driving scan also checks at
+    // every morsel claim; this covers probe-heavy plans between claims).
+    if ((run->size() & 1023) == 0) {
+      MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+    }
   }
   return root->Close();
 }
 
 StatusOr<ParallelRunResult> RunSequential(Operator* root,
                                           int64_t memory_budget_bytes,
-                                          std::string fallback_reason) {
+                                          std::string fallback_reason,
+                                          const CancelTokenPtr& cancel) {
   ParallelRunResult result;
   result.used_dop = 1;
   result.fallback_reason = std::move(fallback_reason);
   ExecContext ctx;
+  ctx.set_cancel_token(cancel);
   ctx.set_memory_budget_bytes(memory_budget_bytes);
   MAGICDB_ASSIGN_OR_RETURN(result.rows, ExecuteToVector(root, &ctx));
   result.counters = ctx.counters();
@@ -137,12 +144,19 @@ std::string ParallelExecutor::UnsafeReason(const Operator& root) {
 }
 
 StatusOr<ParallelRunResult> ParallelExecutor::Run(
-    std::vector<OpPtr> replicas, int64_t memory_budget_bytes) {
+    std::vector<OpPtr> replicas, int64_t memory_budget_bytes,
+    const ParallelRunOptions& options) {
   if (replicas.empty()) {
     return Status::InvalidArgument("ParallelExecutor::Run: no plan replicas");
   }
+  if (options.cancel_token != nullptr) {
+    // A query whose deadline expired while queued for admission must not
+    // start executing at all.
+    MAGICDB_RETURN_IF_ERROR(options.cancel_token->Check());
+  }
   if (dop_ == 1) {
-    return RunSequential(replicas[0].get(), memory_budget_bytes, "dop=1");
+    return RunSequential(replicas[0].get(), memory_budget_bytes, "dop=1",
+                         options.cancel_token);
   }
 
   // Analyze every replica; verify the trees really are isomorphic (the
@@ -151,11 +165,13 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
   std::vector<ReplicaShape> shapes(replicas.size());
   std::string reason = Analyze(replicas[0].get(), &shapes[0]);
   if (!reason.empty()) {
-    return RunSequential(replicas[0].get(), memory_budget_bytes, reason);
+    return RunSequential(replicas[0].get(), memory_budget_bytes, reason,
+                         options.cancel_token);
   }
   if (static_cast<int>(replicas.size()) != dop_) {
     return RunSequential(replicas[0].get(), memory_budget_bytes,
-                         "replica count does not match dop");
+                         "replica count does not match dop",
+                         options.cancel_token);
   }
   const std::string tree0 = replicas[0]->TreeString();
   for (size_t w = 1; w < replicas.size(); ++w) {
@@ -172,7 +188,8 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
     }
     if (!same) {
       return RunSequential(replicas[0].get(), memory_budget_bytes,
-                           "plan replicas are not isomorphic");
+                           "plan replicas are not isomorphic",
+                           options.cancel_token);
     }
   }
 
@@ -211,14 +228,24 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
 
   std::vector<ExecContext> contexts(dop_);
   std::vector<std::vector<GatherRow>> runs(dop_);
-  ThreadPool pool(dop_);
-  std::vector<Status> statuses = pool.RunOnAllWorkers([&](int w) -> Status {
+  const auto worker_fn = [&](int w) -> Status {
+    contexts[w].set_cancel_token(options.cancel_token);
     contexts[w].set_memory_budget_bytes(memory_budget_bytes);
     Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
                             &runs[w]);
     if (!st.ok()) abort_all(st);
     return st;
-  });
+  };
+  std::vector<Status> statuses;
+  if (options.shared_pool != nullptr) {
+    // Multiplexed mode: the gang shares the service-wide pool with other
+    // queries' tasks. Admission guarantees the gang fits (see
+    // ParallelRunOptions::shared_pool).
+    statuses = options.shared_pool->RunGang(dop_, worker_fn);
+  } else {
+    ThreadPool pool(dop_);
+    statuses = pool.RunOnAllWorkers(worker_fn);
+  }
   for (const Status& st : statuses) {
     // Prefer a non-abort status if one exists; all failures here share the
     // same root cause anyway (abort propagates the first error).

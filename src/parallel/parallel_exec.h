@@ -4,12 +4,30 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/cost_counters.h"
 #include "src/common/statusor.h"
 #include "src/exec/filter_join_op.h"
 #include "src/exec/operator.h"
 
 namespace magicdb {
+
+class ThreadPool;
+
+/// Execution environment for one ParallelExecutor::Run call.
+struct ParallelRunOptions {
+  /// Pool to run the worker gang on. nullptr = the executor creates a
+  /// dedicated pool of `dop` threads (the original pool-per-query mode).
+  /// When shared, the caller must uphold ThreadPool::RunGang's deadlock
+  /// contract: at most pool->size() blocking gang tasks outstanding —
+  /// the query service's admission controller reserves `dop` slots per
+  /// parallel query for exactly this reason.
+  ThreadPool* shared_pool = nullptr;
+
+  /// Cooperative cancellation/deadline token threaded into every worker's
+  /// ExecContext; null = not cancellable.
+  CancelTokenPtr cancel_token;
+};
 
 /// Outcome of one (possibly parallel) pipeline execution.
 struct ParallelRunResult {
@@ -56,7 +74,8 @@ class ParallelExecutor {
   /// plans, or at least one plan (fallback runs replicas[0]). Consumes the
   /// replicas.
   StatusOr<ParallelRunResult> Run(std::vector<OpPtr> replicas,
-                                  int64_t memory_budget_bytes);
+                                  int64_t memory_budget_bytes,
+                                  const ParallelRunOptions& options = {});
 
   int dop() const { return dop_; }
 

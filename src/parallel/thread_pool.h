@@ -55,6 +55,19 @@ class ThreadPool {
   /// in flight wait until the per-worker functions complete.
   std::vector<Status> RunOnAllWorkers(const std::function<Status(int)>& fn);
 
+  /// Runs fn(0..n-1) as `n` ordinary tasks on the (possibly shared) pool
+  /// and blocks until all return. Unlike RunOnAllWorkers the tasks are not
+  /// pinned one-per-worker, so several gangs and any number of short
+  /// non-blocking tasks can share one pool.
+  ///
+  /// Deadlock contract for gang members that block on barriers with each
+  /// other: the caller must ensure that the total number of potentially
+  /// blocking gang tasks outstanding across all concurrent RunGang calls
+  /// never exceeds size(). Work stealing then guarantees every member
+  /// eventually occupies a worker, so every barrier fills. The query
+  /// service's slot-based admission controller maintains this invariant.
+  std::vector<Status> RunGang(int n, const std::function<Status(int)>& fn);
+
   /// Number of successful steals since construction (observability; the
   /// work-stealing test asserts this is non-zero under imbalance).
   int64_t steal_count() const {

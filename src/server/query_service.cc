@@ -1,0 +1,408 @@
+#include "src/server/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/parallel/parallel_exec.h"
+
+namespace magicdb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+/// Control block of one cooperatively scheduled sequential query. The
+/// Volcano state (root/ctx/rows/opened) is touched only by the currently
+/// running pump task; successive tasks are ordered through the pool's queue
+/// locks, so no extra synchronization is needed for it. `done`/`status` are
+/// the caller handshake, guarded by `mu`.
+struct PumpState {
+  Operator* root = nullptr;
+  ExecContext* ctx = nullptr;
+  std::vector<Tuple>* rows = nullptr;
+  int64_t quantum = 1024;
+  ThreadPool* pool = nullptr;
+  Counter* quanta = nullptr;
+
+  bool opened = false;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+
+void SubmitPump(const std::shared_ptr<PumpState>& st);
+
+/// One scheduler quantum: open on first entry, pump up to `quantum` rows,
+/// then either finish (eof/error, Close, signal the caller) or yield the
+/// worker by re-enqueueing at the back of the pool's queue so concurrently
+/// admitted queries interleave.
+void RunQuantum(const std::shared_ptr<PumpState>& st) {
+  st->quanta->Increment();
+  Status status = st->ctx->CheckCancelled();
+  bool eof = false;
+  if (status.ok() && !st->opened) {
+    status = st->root->Open(st->ctx);
+    st->opened = status.ok();
+  }
+  if (status.ok()) {
+    for (int64_t i = 0; i < st->quantum; ++i) {
+      Tuple t;
+      status = st->root->Next(&t, &eof);
+      if (!status.ok() || eof) break;
+      st->rows->push_back(std::move(t));
+    }
+  }
+  if (status.ok() && eof) {
+    status = st->root->Close();
+  }
+  if (!status.ok() || eof) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->status = std::move(status);
+    st->done = true;
+    st->cv.notify_all();
+    return;
+  }
+  SubmitPump(st);
+}
+
+void SubmitPump(const std::shared_ptr<PumpState>& st) {
+  st->pool->Submit([st] { RunQuantum(st); });
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "pool_threads=" << pool_threads << " submitted=" << queries_submitted
+     << " admitted=" << queries_admitted << " completed=" << queries_completed
+     << " failed=" << queries_failed << " cancelled=" << queries_cancelled
+     << " deadline_exceeded=" << deadlines_exceeded
+     << " plan_cache_hits=" << plan_cache_hits
+     << " plan_cache_misses=" << plan_cache_misses
+     << " instance_reuses=" << plan_instance_reuses
+     << " sched_quanta=" << sched_quanta
+     << " morsels_stolen=" << morsels_stolen << " ddl_epoch=" << ddl_epoch;
+  return os.str();
+}
+
+QueryService::QueryService(Database* db, const QueryServiceOptions& options)
+    : db_(db),
+      options_(options),
+      plan_cache_(options.plan_cache_entries,
+                  options.plan_cache_instances_per_entry) {
+  int threads = options_.pool_threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.max_concurrent_queries <= 0) {
+    options_.max_concurrent_queries = 2 * threads;
+  }
+  if (options_.scheduler_quantum_rows <= 0) {
+    options_.scheduler_quantum_rows = 1024;
+  }
+
+  queries_submitted_ =
+      metrics_.counter("magicdb_server_queries_submitted_total");
+  queries_admitted_ = metrics_.counter("magicdb_server_queries_admitted_total");
+  queries_completed_ =
+      metrics_.counter("magicdb_server_queries_completed_total");
+  queries_failed_ = metrics_.counter("magicdb_server_queries_failed_total");
+  queries_cancelled_ =
+      metrics_.counter("magicdb_server_queries_cancelled_total");
+  deadlines_exceeded_ =
+      metrics_.counter("magicdb_server_deadline_exceeded_total");
+  plan_cache_hits_ = metrics_.counter("magicdb_server_plan_cache_hits_total");
+  plan_cache_misses_ =
+      metrics_.counter("magicdb_server_plan_cache_misses_total");
+  plan_instance_reuses_ =
+      metrics_.counter("magicdb_server_plan_instance_reuses_total");
+  sched_quanta_ = metrics_.counter("magicdb_server_sched_quanta_total");
+  morsels_stolen_ = metrics_.counter("magicdb_server_morsels_stolen_total");
+  admission_wait_us_ = metrics_.histogram("magicdb_server_admission_wait_us");
+  query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
+}
+
+QueryService::~QueryService() {
+  // Drain in-flight work before members (pool first in reverse order of
+  // declaration would destroy metrics while tasks still run).
+  pool_->WaitIdle();
+}
+
+std::unique_ptr<Session> QueryService::CreateSession() {
+  const int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(
+      new Session(this, id, *db_->mutable_optimizer_options()));
+}
+
+Status QueryService::Execute(const std::string& ddl) {
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  return db_->Execute(ddl);
+}
+
+Status QueryService::LoadRows(const std::string& table,
+                              std::vector<Tuple> rows) {
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  return db_->LoadRows(table, std::move(rows));
+}
+
+Status QueryService::ValidateSelect(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+  return db_->BindSelect(sql).status();
+}
+
+StatusOr<std::string> QueryService::Explain(const std::string& sql,
+                                            const OptimizerOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+  MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                           db_->PlanSelect(sql, options));
+  return planned.explain;
+}
+
+Status QueryService::Admit(int gang_slots, const CancelToken* token) {
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  const uint64_t ticket = next_ticket_++;
+  admit_queue_.push_back(ticket);
+  const int gang_capacity = pool_->size();
+  auto can_run = [&] {
+    return admit_queue_.front() == ticket &&
+           active_queries_ < options_.max_concurrent_queries &&
+           used_gang_slots_ + gang_slots <= gang_capacity;
+  };
+  while (!can_run()) {
+    if (token != nullptr) {
+      Status s = token->Check();
+      if (!s.ok()) {
+        // Abandon the ticket; whoever is behind us may now be at the head.
+        admit_queue_.erase(
+            std::find(admit_queue_.begin(), admit_queue_.end(), ticket));
+        admit_cv_.notify_all();
+        return s;
+      }
+    }
+    // Bounded wait so a queued query notices its deadline firing even when
+    // nothing releases capacity.
+    admit_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  admit_queue_.pop_front();
+  active_queries_ += 1;
+  used_gang_slots_ += gang_slots;
+  // The next waiter may need no gang slots and still fit.
+  admit_cv_.notify_all();
+  admission_wait_us_->Observe(ElapsedUs(start));
+  return Status::OK();
+}
+
+void QueryService::Release(int gang_slots) {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    active_queries_ -= 1;
+    used_gang_slots_ -= gang_slots;
+  }
+  admit_cv_.notify_all();
+}
+
+Status QueryService::RunCooperative(Operator* root, ExecContext* ctx,
+                                    std::vector<Tuple>* rows) {
+  auto st = std::make_shared<PumpState>();
+  st->root = root;
+  st->ctx = ctx;
+  st->rows = rows;
+  st->quantum = options_.scheduler_quantum_rows;
+  st->pool = pool_.get();
+  st->quanta = sched_quanta_;
+  SubmitPump(st);
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] { return st->done; });
+  return st->status;
+}
+
+StatusOr<QueryResult> QueryService::Query(Session* session,
+                                          const std::string& sql,
+                                          const ExecOptions& exec) {
+  queries_submitted_->Increment();
+  const Clock::time_point start = Clock::now();
+
+  CancelTokenPtr token = exec.cancel_token;
+  // Zero = no deadline; negative expires immediately (SetTimeout semantics).
+  if (exec.timeout.count() != 0) {
+    if (token == nullptr) token = std::make_shared<CancelToken>();
+    token->SetTimeout(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(exec.timeout));
+  }
+
+  const int effective_dop = std::clamp(exec.dop, 1, pool_->size());
+  const int gang_slots = effective_dop > 1 ? effective_dop : 0;
+
+  Status admitted = Admit(gang_slots, token.get());
+  auto classify_failure = [&](const Status& s) {
+    if (s.code() == StatusCode::kCancelled) {
+      queries_cancelled_->Increment();
+    } else if (s.code() == StatusCode::kDeadlineExceeded) {
+      deadlines_exceeded_->Increment();
+    }
+    queries_failed_->Increment();
+    query_latency_us_->Observe(ElapsedUs(start));
+  };
+  if (!admitted.ok()) {
+    classify_failure(admitted);
+    return admitted;
+  }
+  queries_admitted_->Increment();
+
+  StatusOr<QueryResult> result = [&] {
+    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+    return QueryAdmitted(session, sql, exec, token, effective_dop);
+  }();
+  Release(gang_slots);
+
+  if (!result.ok()) {
+    classify_failure(result.status());
+    return result;
+  }
+  queries_completed_->Increment();
+  query_latency_us_->Observe(ElapsedUs(start));
+  return result;
+}
+
+StatusOr<QueryResult> QueryService::QueryAdmitted(Session* session,
+                                                  const std::string& sql,
+                                                  const ExecOptions& exec,
+                                                  const CancelTokenPtr& token,
+                                                  int effective_dop) {
+  const OptimizerOptions& opts = session->options();
+  const int64_t epoch = db_->catalog()->ddl_epoch();
+  const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql;
+
+  CachedPlanMeta meta;
+  OpPtr instance;
+  // Parallel queries never reuse pooled instances (they need fresh replicas
+  // for shared-state wiring), so leave the pool untouched for them.
+  const bool want_instance = effective_dop == 1;
+  const bool hit = plan_cache_.Lookup(key, epoch, &meta,
+                                      want_instance ? &instance : nullptr);
+  if (hit) {
+    plan_cache_hits_->Increment();
+  } else {
+    plan_cache_misses_->Increment();
+    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned, db_->PlanSelect(sql, opts));
+    meta.bound = planned.bound;
+    meta.schema = planned.schema;
+    meta.explain = planned.explain;
+    meta.est_cost = planned.est_cost;
+    meta.est_rows = planned.est_rows;
+    meta.filter_joins = planned.filter_joins;
+    meta.optimizer_stats = planned.optimizer_stats;
+    plan_cache_.Insert(key, epoch, meta);
+    if (want_instance) instance = std::move(planned.root);
+  }
+
+  QueryResult result;
+  result.schema = meta.schema;
+  result.explain = meta.explain;
+  result.est_cost = meta.est_cost;
+  result.est_rows = meta.est_rows;
+  result.filter_joins = meta.filter_joins;
+  result.optimizer_stats = meta.optimizer_stats;
+
+  const bool has_limit = meta.bound.limit >= 0;
+
+  if (effective_dop > 1) {
+    // Mirror Database::ExecuteParallel on the shared pool: plan isomorphic
+    // replicas from the cached bound plan (skipping parse+bind on hits).
+    std::vector<OpPtr> replicas;
+    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect first, db_->PlanBound(meta.bound,
+                                                                 opts));
+    replicas.push_back(std::move(first.root));
+    if (!has_limit &&
+        ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
+      for (int w = 1; w < effective_dop; ++w) {
+        MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
+                                 db_->PlanBound(meta.bound, opts));
+        replicas.push_back(std::move(replica.root));
+      }
+    }
+    ParallelExecutor executor(has_limit ? 1 : effective_dop);
+    ParallelRunOptions run_options;
+    run_options.shared_pool = pool_.get();
+    run_options.cancel_token = token;
+    MAGICDB_ASSIGN_OR_RETURN(
+        ParallelRunResult run,
+        executor.Run(std::move(replicas), opts.memory_budget_bytes,
+                     run_options));
+    result.rows = std::move(run.rows);
+    result.counters = run.counters;
+    result.used_dop = run.used_dop;
+    result.parallel_fallback_reason =
+        has_limit ? "LIMIT clause" : std::move(run.fallback_reason);
+    if (run.has_filter_join) {
+      result.filter_join_measured.push_back(run.filter_join_measured);
+    }
+    return result;
+  }
+
+  // Sequential path: reuse a pooled instance when one was available,
+  // otherwise instantiate from the cached bound plan.
+  if (instance != nullptr) {
+    if (hit) plan_instance_reuses_->Increment();
+  } else {
+    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                             db_->PlanBound(meta.bound, opts));
+    instance = std::move(planned.root);
+  }
+
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
+  ctx.set_cancel_token(token);
+  MAGICDB_RETURN_IF_ERROR(RunCooperative(instance.get(), &ctx, &result.rows));
+  result.counters = ctx.counters();
+  result.used_dop = 1;
+  CollectFilterJoinMeasured(*instance, &result.filter_join_measured);
+  // The tree fully re-initializes in Open(), so it can serve the next
+  // execution of the same statement.
+  plan_cache_.CheckIn(key, epoch, std::move(instance));
+  return result;
+}
+
+ServiceStats QueryService::StatsSnapshot() const {
+  morsels_stolen_->Set(pool_->steal_count());
+  ServiceStats s;
+  s.pool_threads = pool_->size();
+  s.queries_submitted = queries_submitted_->Value();
+  s.queries_admitted = queries_admitted_->Value();
+  s.queries_completed = queries_completed_->Value();
+  s.queries_failed = queries_failed_->Value();
+  s.queries_cancelled = queries_cancelled_->Value();
+  s.deadlines_exceeded = deadlines_exceeded_->Value();
+  s.plan_cache_hits = plan_cache_hits_->Value();
+  s.plan_cache_misses = plan_cache_misses_->Value();
+  s.plan_instance_reuses = plan_instance_reuses_->Value();
+  s.sched_quanta = sched_quanta_->Value();
+  s.morsels_stolen = morsels_stolen_->Value();
+  s.ddl_epoch = db_->catalog()->ddl_epoch();
+  s.admission_wait_us_p50 = admission_wait_us_->Quantile(0.50);
+  s.admission_wait_us_p95 = admission_wait_us_->Quantile(0.95);
+  s.query_latency_us_p50 = query_latency_us_->Quantile(0.50);
+  s.query_latency_us_p95 = query_latency_us_->Quantile(0.95);
+  s.query_latency_us_p99 = query_latency_us_->Quantile(0.99);
+  return s;
+}
+
+std::string QueryService::MetricsText() const {
+  morsels_stolen_->Set(pool_->steal_count());
+  return metrics_.TextDump();
+}
+
+}  // namespace magicdb

@@ -1,0 +1,192 @@
+#ifndef MAGICDB_SERVER_QUERY_SERVICE_H_
+#define MAGICDB_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/metrics.h"
+#include "src/common/statusor.h"
+#include "src/db/database.h"
+#include "src/parallel/thread_pool.h"
+#include "src/server/plan_cache.h"
+#include "src/server/session.h"
+
+namespace magicdb {
+
+/// Construction-time knobs of a QueryService.
+struct QueryServiceOptions {
+  /// Worker threads in the one shared pool. 0 = hardware concurrency.
+  int pool_threads = 0;
+
+  /// Admission tickets: queries running or executing concurrently (queued
+  /// submitters beyond this wait FIFO). 0 = 2 * pool_threads.
+  int max_concurrent_queries = 0;
+
+  /// Plan-cache capacity (distinct (options, sql) keys) and how many idle
+  /// physical instances each entry pools for reuse.
+  size_t plan_cache_entries = 128;
+  size_t plan_cache_instances_per_entry = 8;
+
+  /// Rows a sequential query pumps per scheduler quantum before yielding
+  /// its pool worker to the next queued task (the fair-interleaving knob;
+  /// roughly a quarter of MorselSource::kDefaultMorselRows by default).
+  int64_t scheduler_quantum_rows = 1024;
+};
+
+/// Point-in-time view of the service counters (see also MetricsText()).
+struct ServiceStats {
+  int pool_threads = 0;
+  int64_t queries_submitted = 0;
+  int64_t queries_admitted = 0;
+  int64_t queries_completed = 0;
+  int64_t queries_failed = 0;
+  int64_t queries_cancelled = 0;
+  int64_t deadlines_exceeded = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_instance_reuses = 0;
+  int64_t sched_quanta = 0;
+  int64_t morsels_stolen = 0;
+  int64_t ddl_epoch = 0;
+  double admission_wait_us_p50 = 0.0;
+  double admission_wait_us_p95 = 0.0;
+  double query_latency_us_p50 = 0.0;
+  double query_latency_us_p95 = 0.0;
+  double query_latency_us_p99 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Concurrent query service over one Database: the missing layer between
+/// "embedded library" and "server".
+///
+///   - One process-wide work-stealing ThreadPool shared by every query
+///     (PR 1 created a pool per ExecuteParallel call).
+///   - FIFO admission controller: `max_concurrent_queries` tickets, plus
+///     gang-slot accounting that keeps the number of potentially blocking
+///     parallel workers at or below the pool size — the invariant that
+///     makes barrier-synchronized gangs deadlock-free on a shared pool
+///     (ThreadPool::RunGang).
+///   - Fair scheduling: sequential queries execute as cooperative tasks
+///     that pump `scheduler_quantum_rows` rows and then re-enqueue
+///     themselves, so concurrently admitted queries interleave at morsel
+///     granularity instead of monopolizing a worker.
+///   - SQL-keyed plan cache (per-options fingerprint) invalidated by the
+///     catalog DDL epoch; hits skip parse/bind/optimize entirely when an
+///     idle physical instance is pooled.
+///   - Per-query deadlines and cooperative cancellation threaded through
+///     every operator checkpoint.
+///
+/// Results are byte-identical to Database::Query() under the same session
+/// options, and merged CostCounters stay exact under concurrency (each
+/// query gets private contexts; the single-writer counter contract is
+/// untouched).
+///
+/// The service takes over the database for its lifetime: run DDL/loads
+/// through Execute()/LoadRows() (serialized against queries); do not call
+/// the Database directly while service queries are in flight.
+class QueryService {
+ public:
+  explicit QueryService(Database* db, const QueryServiceOptions& options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session initialized with the database's current optimizer
+  /// options. The session must not outlive the service.
+  std::unique_ptr<Session> CreateSession();
+
+  /// DDL (CREATE TABLE / CREATE VIEW), serialized against running queries;
+  /// bumps the catalog epoch and thereby invalidates cached plans.
+  Status Execute(const std::string& ddl);
+
+  /// Bulk load + ANALYZE, serialized against running queries. Also bumps
+  /// the epoch: fresh statistics may change plan choice.
+  Status LoadRows(const std::string& table, std::vector<Tuple> rows);
+
+  /// Full service path for one SELECT; Session::Query forwards here.
+  StatusOr<QueryResult> Query(Session* session, const std::string& sql,
+                              const ExecOptions& exec = {});
+
+  /// Parse/bind validation under the DDL lock (prepared statements).
+  Status ValidateSelect(const std::string& sql);
+
+  /// Plans under the DDL lock; returns the EXPLAIN text.
+  StatusOr<std::string> Explain(const std::string& sql,
+                                const OptimizerOptions& options);
+
+  Database* database() { return db_; }
+  ThreadPool* pool() { return pool_.get(); }
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  ServiceStats StatsSnapshot() const;
+  std::string MetricsText() const;
+
+  int pool_threads() const { return pool_->size(); }
+
+ private:
+  /// Blocking FIFO admission. `gang_slots` is 0 for sequential queries and
+  /// the effective dop for parallel ones. Returns non-OK when `token`
+  /// fires while queued; records the wait in the admission histogram.
+  Status Admit(int gang_slots, const CancelToken* token);
+  void Release(int gang_slots);
+
+  /// Runs `root` to completion as cooperative quantum tasks on the shared
+  /// pool, filling `rows`. Returns the pipeline status (including
+  /// cancellation); Close() runs on success.
+  Status RunCooperative(Operator* root, ExecContext* ctx,
+                        std::vector<Tuple>* rows);
+
+  StatusOr<QueryResult> QueryAdmitted(Session* session,
+                                      const std::string& sql,
+                                      const ExecOptions& exec,
+                                      const CancelTokenPtr& token,
+                                      int effective_dop);
+
+  Database* db_;
+  QueryServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  PlanCache plan_cache_;
+
+  /// Queries hold this shared; DDL/loads hold it exclusive.
+  std::shared_mutex ddl_mu_;
+
+  // Admission state.
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  std::deque<uint64_t> admit_queue_;  // waiter tickets, FIFO
+  uint64_t next_ticket_ = 0;
+  int active_queries_ = 0;
+  int used_gang_slots_ = 0;
+
+  std::atomic<int64_t> next_session_id_{1};
+
+  MetricsRegistry metrics_;
+  // Hot-path metric pointers (stable; registry owns them).
+  Counter* queries_submitted_;
+  Counter* queries_admitted_;
+  Counter* queries_completed_;
+  Counter* queries_failed_;
+  Counter* queries_cancelled_;
+  Counter* deadlines_exceeded_;
+  Counter* plan_cache_hits_;
+  Counter* plan_cache_misses_;
+  Counter* plan_instance_reuses_;
+  Counter* sched_quanta_;
+  Counter* morsels_stolen_;
+  LatencyHistogram* admission_wait_us_;
+  LatencyHistogram* query_latency_us_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SERVER_QUERY_SERVICE_H_

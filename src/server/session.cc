@@ -1,0 +1,43 @@
+#include "src/server/session.h"
+
+#include "src/server/query_service.h"
+
+namespace magicdb {
+
+Session::Session(QueryService* service, int64_t id, OptimizerOptions options)
+    : service_(service), id_(id), options_(std::move(options)) {}
+
+Session::~Session() = default;
+
+StatusOr<QueryResult> Session::Query(const std::string& sql,
+                                     const ExecOptions& exec) {
+  return service_->Query(this, sql, exec);
+}
+
+Status Session::Prepare(const std::string& name, const std::string& sql) {
+  // Validate eagerly so a typo fails at Prepare time, not on first execute.
+  MAGICDB_RETURN_IF_ERROR(service_->ValidateSelect(sql));
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_[name] = sql;
+  return Status::OK();
+}
+
+StatusOr<QueryResult> Session::ExecutePrepared(const std::string& name,
+                                               const ExecOptions& exec) {
+  std::string sql;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::InvalidArgument("no prepared statement named: " + name);
+    }
+    sql = it->second;
+  }
+  return service_->Query(this, sql, exec);
+}
+
+StatusOr<std::string> Session::Explain(const std::string& sql) {
+  return service_->Explain(sql, options_);
+}
+
+}  // namespace magicdb

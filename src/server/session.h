@@ -1,0 +1,95 @@
+#ifndef MAGICDB_SERVER_SESSION_H_
+#define MAGICDB_SERVER_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/cancellation.h"
+#include "src/common/statusor.h"
+#include "src/db/database.h"
+#include "src/optimizer/optimizer_options.h"
+
+namespace magicdb {
+
+class QueryService;
+
+/// Per-query execution controls a session passes to the service.
+struct ExecOptions {
+  /// Requested degree of parallelism; clamped to the service pool size.
+  /// 1 (default) runs on the fair cooperative scheduler; > 1 runs the
+  /// morsel-parallel executor as a gang on the shared pool when the plan
+  /// shape allows (otherwise it falls back to the sequential path with
+  /// QueryResult::parallel_fallback_reason set).
+  int dop = 1;
+
+  /// Relative deadline for the whole query, admission wait included.
+  /// Zero = no deadline. A query that exceeds it unwinds cooperatively
+  /// with StatusCode::kDeadlineExceeded.
+  std::chrono::microseconds timeout{0};
+
+  /// Optional externally owned token; lets the submitter cancel the query
+  /// from another thread. When null and a timeout is set, the service
+  /// creates an internal token.
+  CancelTokenPtr cancel_token;
+};
+
+/// One client's connection to a QueryService: per-session optimizer
+/// options, named prepared statements, and the entry points that route
+/// through the service's admission controller, shared pool, and plan
+/// cache. Results are byte-identical to calling Database::Query() with the
+/// same options.
+///
+/// A Session must not outlive its QueryService. One session is meant to be
+/// driven by one client thread at a time; distinct sessions are safe to
+/// drive concurrently.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int64_t id() const { return id_; }
+
+  /// Session-private planning knobs. Changing them re-keys this session's
+  /// plan-cache lookups (the options fingerprint is part of the key), so a
+  /// cached plan never crosses an options change.
+  const OptimizerOptions& options() const { return options_; }
+  OptimizerOptions* mutable_options() { return &options_; }
+
+  /// Runs a SELECT through the service (admission -> plan cache ->
+  /// shared-pool execution).
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              const ExecOptions& exec = {});
+
+  /// Registers `sql` under `name`, parse/bind-validating it eagerly so
+  /// errors surface at Prepare time. Re-preparing a name replaces it.
+  Status Prepare(const std::string& name, const std::string& sql);
+
+  /// Executes a statement registered with Prepare. Repeated executions hit
+  /// the plan cache.
+  StatusOr<QueryResult> ExecutePrepared(const std::string& name,
+                                        const ExecOptions& exec = {});
+
+  /// Plans a SELECT under this session's options; returns the EXPLAIN text.
+  StatusOr<std::string> Explain(const std::string& sql);
+
+ private:
+  friend class QueryService;
+  Session(QueryService* service, int64_t id, OptimizerOptions options);
+
+  QueryService* service_;
+  const int64_t id_;
+  OptimizerOptions options_;
+
+  std::mutex mu_;  // guards prepared_
+  std::map<std::string, std::string> prepared_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SERVER_SESSION_H_
