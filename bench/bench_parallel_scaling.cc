@@ -1,7 +1,9 @@
 // Parallel scaling of the morsel-driven executor (src/parallel) on the
 // Figure-1/2 workload: wall-clock speedup of Database::ExecuteParallel at
-// DoP in {1, 2, 4, 8}, for both plan shapes the executor parallelizes —
-// the no-magic hash-join plan and the magic FilterJoin plan.
+// DoP in {1, 2, 4, 8}, for the plan shapes the executor parallelizes —
+// the no-magic hash-join plan, the magic FilterJoin plan, and two-phase
+// parallel GROUP BY aggregation at both cardinality extremes
+// (low-cardinality = merge-heavy, high-cardinality = partition-heavy).
 //
 // Two invariants are asserted on every run, not just reported:
 //   * rows are byte-identical to the DoP=1 execution, in the same order;
@@ -11,6 +13,9 @@
 // Speedup is hardware-bound: on an N-core machine DoP > N adds scheduling
 // overhead without adding compute, so the table prints the detected core
 // count and the reader should judge the curve against it.
+//
+// `--smoke` shrinks tables, repetitions, and the DoP set to {1, 2} so CI
+// (scripts/check.sh) can run the determinism assertions quickly.
 
 #include <benchmark/benchmark.h>
 
@@ -27,12 +32,13 @@
 namespace magicdb::bench {
 namespace {
 
-constexpr int kRepetitions = 5;
+int g_repetitions = 5;
+std::vector<int> g_dops = {1, 2, 4, 8};
 
 double MedianWallMs(Database* db, const char* query, int dop,
                     QueryResult* out) {
   std::vector<double> ms;
-  for (int r = 0; r < kRepetitions; ++r) {
+  for (int r = 0; r < g_repetitions; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     auto result = db->ExecuteParallel(query, dop);
     const auto t1 = std::chrono::steady_clock::now();
@@ -73,31 +79,32 @@ const char* kTwoWayJoinQuery =
     "SELECT E.did, E.sal, D.budget FROM Emp E, Dept D "
     "WHERE E.did = D.did AND E.age < 30 AND D.budget > 100000";
 
-void PrintScalingTable(const char* title, const char* plan_key,
-                       const char* query, OptimizerOptions::MagicMode mode,
-                       Json* json_results) {
-  Figure1Options opts;
-  opts.num_depts = 2000;
-  opts.emps_per_dept = 50;  // Emp = 100k rows: enough work to share
-  opts.young_frac = 0.05;   // selective regime: magic wins and is chosen
-  opts.big_frac = 0.05;
-  opts.build_indexes = false;  // keep the plan in hash-join territory
-  auto db = MakeFigure1Database(opts);
-  auto* options = db->mutable_optimizer_options();
-  options->magic_mode = mode;
-  options->enable_nested_loops = false;
-  options->enable_index_nested_loops = false;
-  options->enable_sort_merge = false;
+// GROUP BY workloads for the two-phase parallel aggregation. Aggregates are
+// chosen so every double addition involved is exact (COUNT, SUM over int64,
+// MIN/MAX): byte-identity is then a hard assertion, not a tolerance.
+//
+// Low cardinality: age has two distinct values, so workers build tiny
+// partial tables and nearly all work concentrates in the partitioned merge.
+const char* kGroupByLowCardQuery =
+    "SELECT E.age, COUNT(*) AS c, SUM(E.did) AS s, MIN(E.sal) AS m "
+    "FROM Emp E GROUP BY E.age";
+// High cardinality: sal is effectively unique per row, so partial tables
+// are large and the hash-partition routing dominates.
+const char* kGroupByHighCardQuery =
+    "SELECT E.sal, COUNT(*) AS c, MAX(E.age) AS m "
+    "FROM Emp E GROUP BY E.sal";
 
-  std::cout << "=== " << title << " (Dept=" << opts.num_depts
-            << ", Emp=" << opts.num_depts * opts.emps_per_dept << ") ===\n\n";
+/// Runs `query` at every DoP in g_dops, printing the scaling table and
+/// asserting byte-identical rows + exactly-merged counters against DoP=1.
+void RunScalingLoop(Database* db, const char* plan_key, const char* query,
+                    Json* json_results) {
   TablePrinter table({"dop", "used_dop", "wall_ms(median)", "speedup",
                       "measured_cost", "rows", "fallback"});
   QueryResult base;
   double base_ms = 0.0;
-  for (int dop : {1, 2, 4, 8}) {
+  for (int dop : g_dops) {
     QueryResult result;
-    const double ms = MedianWallMs(db.get(), query, dop, &result);
+    const double ms = MedianWallMs(db, query, dop, &result);
     if (dop == 1) {
       base_ms = ms;
     } else {
@@ -129,7 +136,48 @@ void PrintScalingTable(const char* title, const char* plan_key,
                "every dop)\n\n";
 }
 
-void PrintScaling(const std::string& json_path) {
+void PrintScalingTable(const char* title, const char* plan_key,
+                       const char* query, OptimizerOptions::MagicMode mode,
+                       bool smoke, Json* json_results) {
+  Figure1Options opts;
+  opts.num_depts = smoke ? 200 : 2000;
+  opts.emps_per_dept = smoke ? 10 : 50;
+  opts.young_frac = 0.05;  // selective regime: magic wins and is chosen
+  opts.big_frac = 0.05;
+  opts.build_indexes = false;  // keep the plan in hash-join territory
+  auto db = MakeFigure1Database(opts);
+  auto* options = db->mutable_optimizer_options();
+  options->magic_mode = mode;
+  options->enable_nested_loops = false;
+  options->enable_index_nested_loops = false;
+  options->enable_sort_merge = false;
+
+  std::cout << "=== " << title << " (Dept=" << opts.num_depts
+            << ", Emp=" << opts.num_depts * opts.emps_per_dept << ") ===\n\n";
+  RunScalingLoop(db.get(), plan_key, query, json_results);
+}
+
+void PrintAggScalingTable(const char* title, const char* plan_key,
+                          const char* query, bool smoke, Json* json_results) {
+  Figure1Options opts;
+  // 1M input rows (2000 x 500) in the full run: large enough that the
+  // accumulate phase dominates and DoP-4 speedup is observable on a
+  // multi-core box.
+  opts.num_depts = smoke ? 100 : 2000;
+  opts.emps_per_dept = smoke ? 20 : 500;
+  opts.build_indexes = false;
+  auto db = MakeFigure1Database(opts);
+  auto* options = db->mutable_optimizer_options();
+  options->enable_nested_loops = false;
+  options->enable_index_nested_loops = false;
+  options->enable_sort_merge = false;
+
+  std::cout << "=== " << title
+            << " (Emp=" << opts.num_depts * opts.emps_per_dept << ") ===\n\n";
+  RunScalingLoop(db.get(), plan_key, query, json_results);
+}
+
+void PrintScaling(bool smoke, const std::string& json_path) {
   std::cout << "hardware threads detected: "
             << std::thread::hardware_concurrency()
             << " — speedup beyond that count is not expected\n\n";
@@ -137,17 +185,24 @@ void PrintScaling(const std::string& json_path) {
   Json* out = json_path.empty() ? nullptr : &results;
   PrintScalingTable("Parallel scaling, two-way hash-join plan",
                     "two_way_hash_join", kTwoWayJoinQuery,
-                    OptimizerOptions::MagicMode::kNever, out);
+                    OptimizerOptions::MagicMode::kNever, smoke, out);
   PrintScalingTable("Parallel scaling, magic FilterJoin plan",
                     "magic_filter_join", kFigure1Query,
-                    OptimizerOptions::MagicMode::kAlwaysOnVirtual, out);
+                    OptimizerOptions::MagicMode::kAlwaysOnVirtual, smoke, out);
+  PrintAggScalingTable(
+      "Parallel scaling, GROUP BY low cardinality (merge-heavy)",
+      "group_by_low_cardinality", kGroupByLowCardQuery, smoke, out);
+  PrintAggScalingTable(
+      "Parallel scaling, GROUP BY high cardinality (partition-heavy)",
+      "group_by_high_cardinality", kGroupByHighCardQuery, smoke, out);
   if (out != nullptr) {
     Json doc = Json::Object()
                    .Set("benchmark", "bench_parallel_scaling")
                    .Set("hardware_threads",
                         static_cast<int64_t>(
                             std::thread::hardware_concurrency()))
-                   .Set("repetitions", kRepetitions)
+                   .Set("repetitions", static_cast<int64_t>(g_repetitions))
+                   .Set("smoke", smoke)
                    .Set("results", std::move(results));
     if (WriteJsonFile(json_path, doc)) {
       std::cout << "JSON results written to " << json_path << "\n";
@@ -159,6 +214,15 @@ void PrintScaling(const std::string& json_path) {
 }  // namespace magicdb::bench
 
 int main(int argc, char** argv) {
-  magicdb::bench::PrintScaling(magicdb::bench::JsonPathFromArgs(argc, argv));
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  if (smoke) {
+    magicdb::bench::g_repetitions = 2;
+    magicdb::bench::g_dops = {1, 2};
+  }
+  magicdb::bench::PrintScaling(
+      smoke, magicdb::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Three-build gate for the concurrent subsystems (src/parallel, src/server):
-#   1. Release build, full test suite (correctness + cost-identity tests);
-#   2. ThreadSanitizer build, full test suite (barrier/steal/merge and
-#      admission/plan-cache/cancellation races);
+#   1. Release build, full test suite (correctness + cost-identity tests),
+#      plus a smoke run of bench_parallel_scaling (DoP {1,2}) whose
+#      byte-identity and counter-identity assertions cover the parallel
+#      aggregation merge on real query shapes;
+#   2. ThreadSanitizer build, full test suite (barrier/steal/merge,
+#      partitioned-aggregate staging, and admission/plan-cache/cancellation
+#      races), plus the same bench smoke under TSAN;
 #   3. AddressSanitizer+UndefinedBehaviorSanitizer build, full test suite
 #      (lifetime bugs in pooled plan instances, cancellation unwinds, and
 #      UB anywhere; MAGICDB_SANITIZE=address enables both).
@@ -17,11 +21,17 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 
+echo "=== Parallel-scaling bench smoke (Release, DoP 2) ==="
+./build-release/bench/bench_parallel_scaling --smoke
+
 echo "=== ThreadSanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== Parallel-scaling bench smoke (TSAN, DoP 2) ==="
+./build-tsan/bench/bench_parallel_scaling --smoke
 
 echo "=== AddressSanitizer+UBSan build ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,73 @@
+#ifndef MAGICDB_EXEC_AGG_STATE_H_
+#define MAGICDB_EXEC_AGG_STATE_H_
+
+#include <cstdint>
+
+#include "src/types/value.h"
+
+namespace magicdb {
+
+/// Partial state of one aggregate function over one group, designed around
+/// the three-phase protocol that makes parallel aggregation exact:
+///
+///   accumulate: fold one input row into a state (HashAggregateOp);
+///   combine:    merge two partial states built over disjoint row sets
+///               (CombineFrom, used by the partitioned parallel merge);
+///   finalize:   turn the state into the SQL result value.
+///
+/// Combine is exact for every function the engine supports:
+///   COUNT / COUNT(*)  — counts add;
+///   SUM               — the int64 running sum adds while both sides kept
+///                       int64 exactness (`int_sum`), and the flag itself
+///                       merges with AND, so promotion to double happens
+///                       for the merged state iff a sequential pass over
+///                       the union would have promoted;
+///   AVG               — derived at finalize from count + sum, both of
+///                       which merge exactly;
+///   MIN / MAX         — order statistics; NULL (empty) sides are skipped.
+///
+/// NULL semantics carry through combine unchanged: `count` only ever
+/// counted non-NULL inputs (or rows, for COUNT(*)), so a merged group whose
+/// inputs were all NULL still finalizes to NULL for SUM/AVG/MIN/MAX and 0
+/// for COUNT.
+///
+/// The double running sum adds componentwise; for int64 inputs (and any
+/// doubles whose additions round exactly) this is bit-identical to the
+/// sequential left-to-right sum. See DESIGN.md "Parallel aggregation" for
+/// the determinism argument.
+struct AggState {
+  int64_t count = 0;   // non-null inputs (or rows for COUNT(*))
+  double sum = 0.0;    // numeric running sum
+  int64_t isum = 0;    // exact int64 running sum
+  bool int_sum = true; // all inputs so far were int64
+  Value min, max;      // extremes (NULL until first input)
+
+  /// Merges `other` (a partial state over a disjoint set of input rows)
+  /// into this state. Associative and commutative up to double rounding;
+  /// exact (bitwise order-independent) whenever every double addition
+  /// involved is exact — in particular for int64 SUM/AVG inputs.
+  void CombineFrom(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    if (int_sum && other.int_sum) {
+      isum += other.isum;
+    } else {
+      // Either side saw a non-int64 input: the merged sum is no longer
+      // exactly representable as int64 — same promotion a sequential pass
+      // over the concatenated inputs performs.
+      int_sum = false;
+    }
+    if (!other.min.is_null() &&
+        (min.is_null() || other.min.Compare(min) < 0)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() &&
+        (max.is_null() || other.max.Compare(max) > 0)) {
+      max = other.max;
+    }
+  }
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_AGG_STATE_H_

@@ -1,6 +1,10 @@
 #include "src/exec/aggregate_op.h"
 
+#include <limits>
+
 #include "src/common/logging.h"
+#include "src/exec/filter_join_op.h"
+#include "src/exec/scan_ops.h"
 
 namespace magicdb {
 
@@ -11,7 +15,7 @@ HashAggregateOp::HashAggregateOp(OpPtr child, std::vector<ExprPtr> group_by,
       group_by_(std::move(group_by)),
       aggs_(std::move(aggs)) {}
 
-Status HashAggregateOp::Accumulate(const Tuple& row, Group* group) {
+Status HashAggregateOp::Accumulate(const Tuple& row, StagedGroup* group) {
   for (size_t a = 0; a < aggs_.size(); ++a) {
     const AggSpec& spec = aggs_[a];
     AggState& st = group->states[a];
@@ -77,6 +81,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
   group_index_.clear();
   next_group_ = 0;
   aggregated_ = false;
+  const bool parallel = shared_ != nullptr;
 
   MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
   std::vector<int> key_identity(group_by_.size());
@@ -84,11 +89,32 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     key_identity[i] = static_cast<int>(i);
   }
   int64_t input_bytes = 0;
+  int64_t rows_seen = 0;
+  int64_t input_pos = -1;
+  int64_t input_sub = 0;
   while (true) {
     Tuple row;
     bool eof = false;
     MAGICDB_RETURN_IF_ERROR(child_->Next(&row, &eof));
     if (eof) break;
+    // Build-loop cancellation checkpoint, mirroring the scan's
+    // page-boundary cadence: a child pipeline whose rows are expensive
+    // (filter-join probes, wide expressions) must not push cancellation
+    // latency past one block of input rows.
+    if ((++rows_seen & 1023) == 0) {
+      MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+    }
+    if (parallel) {
+      const int64_t p = pos_filter_join_ != nullptr
+                            ? pos_filter_join_->last_probe_global_pos()
+                            : pos_scan_->last_global_row();
+      if (p == input_pos) {
+        ++input_sub;  // same driving position: next emission index
+      } else {
+        input_pos = p;
+        input_sub = 0;
+      }
+    }
     input_bytes += TupleByteWidth(row);
     // Compute the group key.
     Tuple key;
@@ -101,7 +127,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     ctx->counters().hash_operations += 1;
     const uint64_t h = HashTupleColumns(key, key_identity);
     std::vector<int64_t>& chain = group_index_[h];
-    Group* group = nullptr;
+    StagedGroup* group = nullptr;
     for (int64_t gi : chain) {
       if (CompareTuples(groups_[gi].key, key) == 0) {
         group = &groups_[gi];
@@ -110,27 +136,60 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     }
     if (group == nullptr) {
       chain.push_back(static_cast<int64_t>(groups_.size()));
-      groups_.push_back(Group{std::move(key), {}});
+      StagedGroup fresh;
+      fresh.pos = input_pos;
+      fresh.sub = input_sub;
+      fresh.hash = h;
+      fresh.key = std::move(key);
+      fresh.states.resize(aggs_.size());
+      groups_.push_back(std::move(fresh));
       group = &groups_.back();
-      group->states.resize(aggs_.size());
     }
     MAGICDB_RETURN_IF_ERROR(Accumulate(row, group));
   }
   MAGICDB_RETURN_IF_ERROR(child_->Close());
-  // Input over the memory budget: charge one partitioning pass, mirroring
-  // the hash-join Grace model.
-  if (input_bytes > ctx->memory_budget_bytes()) {
-    const int64_t pages = (input_bytes + CostConstants::kPageSizeBytes - 1) /
-                          CostConstants::kPageSizeBytes;
-    ctx->counters().pages_written += pages;
-    ctx->counters().pages_read += pages;
+
+  if (!parallel) {
+    // Input over the memory budget: charge one partitioning pass, mirroring
+    // the hash-join Grace model.
+    if (input_bytes > ctx->memory_budget_bytes()) {
+      const int64_t pages = (input_bytes + CostConstants::kPageSizeBytes - 1) /
+                            CostConstants::kPageSizeBytes;
+      ctx->counters().pages_written += pages;
+      ctx->counters().pages_read += pages;
+    }
+    // Scalar aggregate over empty input still yields one row.
+    if (group_by_.empty() && groups_.empty()) {
+      StagedGroup scalar;
+      scalar.states.resize(aggs_.size());
+      groups_.push_back(std::move(scalar));
+    }
+    aggregated_ = true;
+    return Status::OK();
   }
 
-  // Scalar aggregate over empty input still yields one row.
+  // Parallel: every worker contributes the scalar group even over an empty
+  // input slice, so the merged result has exactly one row (zero states
+  // combine as the identity). The INT64_MAX rank sorts it after any real
+  // first-seen rank, so a worker that did see input decides the group's
+  // position — and with no input anywhere, the single row still emerges.
   if (group_by_.empty() && groups_.empty()) {
-    groups_.push_back(Group{{}, {}});
-    groups_.back().states.resize(aggs_.size());
+    StagedGroup scalar;
+    scalar.pos = std::numeric_limits<int64_t>::max();
+    scalar.hash = HashTupleColumns(Tuple{}, key_identity);
+    scalar.states.resize(aggs_.size());
+    groups_.push_back(std::move(scalar));
   }
+  shared_->AddInputBytes(input_bytes);
+  for (StagedGroup& g : groups_) {
+    shared_->Stage(worker_, std::move(g));
+  }
+  groups_.clear();
+  group_index_.clear();
+  // Barrier with the other replicas, then merge the one partition this
+  // worker owns; the merged groups (sorted by first-seen rank) are what
+  // Next() emits. The Grace spill charge is settled inside, exactly once.
+  MAGICDB_RETURN_IF_ERROR(shared_->MergeOwnPartition(worker_, ctx, &groups_));
   aggregated_ = true;
   return Status::OK();
 }
@@ -141,7 +200,9 @@ Status HashAggregateOp::Next(Tuple* out, bool* eof) {
     *eof = true;
     return Status::OK();
   }
-  const Group& g = groups_[next_group_++];
+  const StagedGroup& g = groups_[next_group_++];
+  last_group_pos_ = g.pos;
+  last_group_sub_ = g.sub;
   Tuple result = g.key;
   for (size_t a = 0; a < aggs_.size(); ++a) {
     MAGICDB_ASSIGN_OR_RETURN(Value v, Finalize(aggs_[a], g.states[a]));

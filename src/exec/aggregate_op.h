@@ -1,15 +1,23 @@
 #ifndef MAGICDB_EXEC_AGGREGATE_OP_H_
 #define MAGICDB_EXEC_AGGREGATE_OP_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/exec/agg_state.h"
 #include "src/exec/operator.h"
 #include "src/expr/expr.h"
+#include "src/parallel/partitioned_aggregate.h"
 #include "src/plan/logical_plan.h"
 
 namespace magicdb {
+
+class FilterJoinOp;
+class SeqScanOp;
 
 /// Hash aggregation: groups by the group-by expressions and computes the
 /// aggregate specs per group. Output layout: group columns, then aggregate
@@ -17,6 +25,21 @@ namespace magicdb {
 ///
 /// With no group-by columns, exactly one output row is produced (SQL scalar
 /// aggregate semantics, COUNT(*)=0 on empty input).
+///
+/// Two execution modes:
+///
+///   Sequential (default): Open() drains the child into one hash table;
+///   Next() emits groups in first-seen order.
+///
+///   Parallel (EnableParallel): this instance is one of `dop` pipeline
+///   replicas. Open() accumulates a morsel-local partial table over this
+///   worker's input slice, stages the partial groups into the
+///   SharedAggregate by key-hash partition, then merges the one partition
+///   this worker owns (two-phase aggregation; see SharedAggregate). Next()
+///   emits the merged partition's groups — sorted by first-seen input rank
+///   (pos, sub), which last_group_pos()/last_group_sub() expose so the
+///   gather merge can interleave the per-worker runs back into exactly the
+///   sequential first-seen output order.
 class HashAggregateOp final : public Operator {
  public:
   HashAggregateOp(OpPtr child, std::vector<ExprPtr> group_by,
@@ -30,31 +53,48 @@ class HashAggregateOp final : public Operator {
     return {child_.get()};
   }
 
+  /// Switches this replica into two-phase parallel mode. `worker` is this
+  /// replica's index in `shared`. Input rows are ranked by the driving
+  /// chain's position provider: `filter_join->last_probe_global_pos()` when
+  /// the chain contains a Filter Join (it re-emits the production set, so
+  /// several input rows may share one driving position — the per-position
+  /// emission index `sub` disambiguates), else
+  /// `driving_scan->last_global_row()`.
+  void EnableParallel(std::shared_ptr<SharedAggregate> shared, int worker,
+                      SeqScanOp* driving_scan, FilterJoinOp* filter_join) {
+    shared_ = std::move(shared);
+    worker_ = worker;
+    pos_scan_ = driving_scan;
+    pos_filter_join_ = filter_join;
+  }
+
+  /// First-seen input rank (pos, sub) of the group most recently emitted by
+  /// Next(). Parallel mode only; the gather merge orders rows by it.
+  int64_t last_group_pos() const { return last_group_pos_; }
+  int64_t last_group_sub() const { return last_group_sub_; }
+
  private:
-  struct AggState {
-    int64_t count = 0;        // non-null inputs (or rows for COUNT(*))
-    double sum = 0.0;         // numeric running sum
-    int64_t isum = 0;         // exact int64 running sum
-    bool int_sum = true;      // all inputs so far were int64
-    Value min, max;           // extremes (NULL until first input)
-  };
-
-  struct Group {
-    Tuple key;
-    std::vector<AggState> states;
-  };
-
-  Status Accumulate(const Tuple& row, Group* group);
+  Status Accumulate(const Tuple& row, StagedGroup* group);
   StatusOr<Value> Finalize(const AggSpec& spec, const AggState& state) const;
 
   OpPtr child_;
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggs_;
   ExecContext* ctx_ = nullptr;
-  std::vector<Group> groups_;  // output order = first-seen order
+  // Sequential: first-seen order. Parallel: this worker's merged partition,
+  // sorted by first-seen input rank.
+  std::vector<StagedGroup> groups_;
   std::unordered_map<uint64_t, std::vector<int64_t>> group_index_;
   size_t next_group_ = 0;
   bool aggregated_ = false;
+
+  // Parallel mode (EnableParallel); null/unused when sequential.
+  std::shared_ptr<SharedAggregate> shared_;
+  int worker_ = 0;
+  SeqScanOp* pos_scan_ = nullptr;
+  FilterJoinOp* pos_filter_join_ = nullptr;
+  int64_t last_group_pos_ = 0;
+  int64_t last_group_sub_ = 0;
 };
 
 }  // namespace magicdb

@@ -10,7 +10,9 @@ GatherOp::GatherOp(Schema schema, std::vector<std::vector<GatherRow>> runs)
     : Operator(std::move(schema)), runs_(std::move(runs)) {
   for (const auto& run : runs_) {
     for (size_t i = 1; i < run.size(); ++i) {
-      MAGICDB_CHECK(run[i - 1].pos <= run[i].pos);
+      MAGICDB_CHECK(run[i - 1].pos < run[i].pos ||
+                    (run[i - 1].pos == run[i].pos &&
+                     run[i - 1].sub <= run[i].sub));
     }
   }
 }
@@ -21,14 +23,20 @@ Status GatherOp::Open(ExecContext* /*ctx*/) {
 }
 
 Status GatherOp::Next(Tuple* out, bool* eof) {
-  // Pick the run whose head has the smallest position; ties (possible only
-  // when several output rows share one driving row, all within one worker's
-  // run) resolve to the lowest run index, and within a run FIFO order is
-  // preserved — both match sequential emission order.
+  // Pick the run whose head has the smallest (pos, sub) rank; full ties
+  // (possible only when several output rows share one rank, all within one
+  // worker's run) resolve to the lowest run index, and within a run FIFO
+  // order is preserved — both match sequential emission order.
   int best = -1;
   for (size_t r = 0; r < runs_.size(); ++r) {
     if (cursor_[r] >= runs_[r].size()) continue;
-    if (best < 0 || runs_[r][cursor_[r]].pos < runs_[best][cursor_[best]].pos) {
+    if (best < 0) {
+      best = static_cast<int>(r);
+      continue;
+    }
+    const GatherRow& head = runs_[r][cursor_[r]];
+    const GatherRow& top = runs_[best][cursor_[best]];
+    if (head.pos < top.pos || (head.pos == top.pos && head.sub < top.sub)) {
       best = static_cast<int>(r);
     }
   }

@@ -9,25 +9,31 @@
 
 namespace magicdb {
 
-/// One output row of a parallel pipeline, tagged with the global position
-/// of the driving-scan row that produced it. Workers claim morsels in
-/// monotonically increasing order, so each worker's run is already sorted
-/// by position; positions are unique across workers (every driving row is
-/// claimed by exactly one morsel).
+/// One output row of a parallel pipeline, tagged with its rank in the
+/// sequential emission order: `pos` is the global position of the
+/// driving-scan row that produced it, and `sub` is the emission index
+/// among rows sharing that driving position (parallel aggregation emits
+/// groups ranked by the (pos, sub) of their first input row; plain
+/// pipelines leave sub at 0). Workers claim morsels in monotonically
+/// increasing order, so each worker's run is already sorted by (pos, sub);
+/// ranks are unique across workers wherever inter-worker ordering matters
+/// (every driving row — and every aggregation group — belongs to exactly
+/// one worker).
 struct GatherRow {
   int64_t pos = 0;
+  int64_t sub = 0;
   Tuple row;
 };
 
 /// Deterministic merge of the per-worker output runs of a parallel
-/// pipeline. A k-way merge on the driving-scan position reproduces exactly
+/// pipeline. A k-way merge on the (pos, sub) rank reproduces exactly
 /// the row order a single-threaded execution emits, so results are
 /// byte-identical at any degree of parallelism. GatherOp performs no query
 /// work of its own and charges nothing to the cost counters — the rows it
 /// forwards were fully paid for by the workers that produced them.
 class GatherOp final : public Operator {
  public:
-  /// Each run must be sorted ascending by `pos`. Takes ownership.
+  /// Each run must be sorted ascending by (pos, sub). Takes ownership.
   GatherOp(Schema schema, std::vector<std::vector<GatherRow>> runs);
 
   Status Open(ExecContext* ctx) override;

@@ -41,6 +41,15 @@ double HashProbe(double probes, double out_rows, int dop) {
          d;
 }
 
+double HashAggregate(double input_rows, double exprs, double groups,
+                     int dop) {
+  const double d = dop > 1 ? static_cast<double>(dop) : 1.0;
+  return (CostConstants::kCpuHashCost * input_rows +
+          CostConstants::kCpuExprCost * exprs +
+          CostConstants::kCpuTupleCost * groups) /
+         d;
+}
+
 double Sort(double rows, int64_t width_bytes, int64_t memory_budget_bytes) {
   if (rows <= 1) return 0.0;
   double cost =

@@ -47,6 +47,16 @@ double HashBuild(double rows, int dop = 1);
 /// divides the CPU terms (probes route to partitions in parallel).
 double HashProbe(double probes, double out_rows, int dop = 1);
 
+/// Hash aggregation over `input_rows` input rows: one hash op per row,
+/// `exprs` expression evaluations (group keys + aggregate arguments), and
+/// per-group output CPU for `groups` groups. `dop` > 1 divides all three
+/// CPU terms: workers accumulate morsel-local partial tables and merge
+/// disjoint key-hash partitions concurrently (two-phase aggregation), so
+/// both the accumulate and the merge scale with the gang. At dop=1 this is
+/// exactly HashBuild + ExprEval + TupleCpu.
+double HashAggregate(double input_rows, double exprs, double groups,
+                     int dop = 1);
+
 /// In-memory sort of `rows` (n log2 n comparisons) plus one external pass
 /// if the data exceeds `memory_budget_bytes`.
 double Sort(double rows, int64_t width_bytes, int64_t memory_budget_bytes);

@@ -334,10 +334,11 @@ StatusOr<Planned> Optimizer::Impl::PlanAggregate(const LogicalPtr& node,
   }
   p.est.rows = groups;
   p.est.width_bytes = p.schema.TupleWidthBytes();
-  p.est.cost = child.est.cost + costs::HashBuild(child.est.rows) +
-               costs::ExprEval(child.est.rows *
-                               static_cast<double>(ng + agg->aggs().size())) +
-               costs::TupleCpu(groups);
+  p.est.cost = child.est.cost +
+               costs::HashAggregate(
+                   child.est.rows,
+                   child.est.rows * static_cast<double>(ng + agg->aggs().size()),
+                   groups, options_->degree_of_parallelism);
   // Partitioning pass when the aggregation input exceeds memory (mirrors
   // the executor's Grace-style charge).
   if (child.est.rows * static_cast<double>(child.est.width_bytes) >

@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/exec/aggregate_op.h"
 #include "src/exec/basic_ops.h"
 #include "src/exec/gather_op.h"
 #include "src/exec/join_ops.h"
 #include "src/exec/scan_ops.h"
 #include "src/parallel/morsel.h"
+#include "src/parallel/partitioned_aggregate.h"
 #include "src/parallel/partitioned_build.h"
 #include "src/parallel/thread_pool.h"
 
@@ -27,6 +29,7 @@ Operator* Child(const Operator* op, size_t i) {
 /// arrays in top-down (probe-order) encounter order.
 struct ReplicaShape {
   SeqScanOp* driving_scan = nullptr;
+  HashAggregateOp* aggregate = nullptr;
   FilterJoinOp* filter_join = nullptr;
   std::vector<HashJoinOp*> hash_joins;
   std::vector<SeqScanOp*> hash_inner_scans;
@@ -53,6 +56,21 @@ std::string Analyze(Operator* root, ReplicaShape* shape) {
   while (true) {
     if (dynamic_cast<FilterOp*>(node) != nullptr ||
         dynamic_cast<ProjectOp*>(node) != nullptr) {
+      node = Child(node, 0);
+      continue;
+    }
+    if (auto* agg = dynamic_cast<HashAggregateOp*>(node)) {
+      // One aggregation, and it must sit above any joins: the aggregate
+      // consumes the whole driving pipeline and re-ranks output by group
+      // first-seen order, so a join probing *aggregated* rows would have no
+      // morsel positions to rank by.
+      if (shape->aggregate != nullptr) {
+        return "more than one aggregation in the pipeline";
+      }
+      if (shape->filter_join != nullptr || !shape->hash_joins.empty()) {
+        return "aggregation below a join in the driving chain";
+      }
+      shape->aggregate = agg;
       node = Child(node, 0);
       continue;
     }
@@ -92,7 +110,9 @@ std::shared_ptr<MorselSource> MakeSourceFor(const SeqScanOp* scan) {
 }
 
 /// Opens, drains, and closes one replica, tagging every output row with the
-/// global driving-scan position the gather merge sorts by.
+/// sequential-order rank the gather merge sorts by: the aggregate's group
+/// first-seen (pos, sub) when the pipeline aggregates, else the global
+/// driving-scan position.
 Status RunPipeline(Operator* root, const ReplicaShape& shape,
                    ExecContext* ctx, std::vector<GatherRow>* run) {
   MAGICDB_RETURN_IF_ERROR(root->Open(ctx));
@@ -101,10 +121,17 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
     bool eof = false;
     MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
     if (eof) break;
-    const int64_t pos = shape.filter_join != nullptr
-                            ? shape.filter_join->last_probe_global_pos()
-                            : shape.driving_scan->last_global_row();
-    run->push_back({pos, std::move(t)});
+    int64_t pos = 0;
+    int64_t sub = 0;
+    if (shape.aggregate != nullptr) {
+      pos = shape.aggregate->last_group_pos();
+      sub = shape.aggregate->last_group_sub();
+    } else if (shape.filter_join != nullptr) {
+      pos = shape.filter_join->last_probe_global_pos();
+    } else {
+      pos = shape.driving_scan->last_global_row();
+    }
+    run->push_back({pos, sub, std::move(t)});
     // Morsel-loop cancellation checkpoint (the driving scan also checks at
     // every morsel claim; this covers probe-heavy plans between claims).
     if ((run->size() & 1023) == 0) {
@@ -180,6 +207,8 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
                 shapes[w].hash_joins.size() == shapes[0].hash_joins.size() &&
                 (shapes[w].filter_join != nullptr) ==
                     (shapes[0].filter_join != nullptr) &&
+                (shapes[w].aggregate != nullptr) ==
+                    (shapes[0].aggregate != nullptr) &&
                 shapes[w].driving_scan->table() ==
                     shapes[0].driving_scan->table();
     for (size_t j = 0; same && j < shapes[0].hash_inner_scans.size(); ++j) {
@@ -206,6 +235,10 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
   if (shapes[0].filter_join != nullptr) {
     shared_fj = std::make_shared<SharedFilterJoin>(dop_);
   }
+  std::shared_ptr<SharedAggregate> shared_agg;
+  if (shapes[0].aggregate != nullptr) {
+    shared_agg = std::make_shared<SharedAggregate>(dop_, memory_budget_bytes);
+  }
   for (int w = 0; w < dop_; ++w) {
     shapes[w].driving_scan->AttachMorselSource(driving_source);
     for (size_t j = 0; j < shapes[w].hash_joins.size(); ++j) {
@@ -217,6 +250,11 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
       shapes[w].filter_join->EnableParallel(shared_fj, w,
                                             shapes[w].driving_scan);
     }
+    if (shared_agg != nullptr) {
+      shapes[w].aggregate->EnableParallel(shared_agg, w,
+                                          shapes[w].driving_scan,
+                                          shapes[w].filter_join);
+    }
   }
 
   // A failing worker must release every peer blocked on a phase barrier,
@@ -224,6 +262,7 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
   auto abort_all = [&](const Status& st) {
     for (auto& b : shared_builds) b->Abort(st);
     if (shared_fj != nullptr) shared_fj->Abort(st);
+    if (shared_agg != nullptr) shared_agg->Abort(st);
   };
 
   std::vector<ExecContext> contexts(dop_);

@@ -55,14 +55,17 @@ struct ParallelRunResult {
 /// (the optimizer is deterministic, so optimizing the same query `dop`
 /// times yields identical trees), wires shared state into each — a
 /// MorselSource per scanned base table, a SharedHashBuild per hash join, a
-/// SharedFilterJoin for the (at most one) topmost Filter Join — and runs
-/// one replica per worker on a work-stealing pool. Output rows are tagged
-/// with their driving-scan position and gather-merged, so results are
+/// SharedFilterJoin for the (at most one) topmost Filter Join, a
+/// SharedAggregate for the (at most one) aggregation above the joins — and
+/// runs one replica per worker on a work-stealing pool. Output rows are
+/// tagged with their sequential-order rank (driving-scan position, or the
+/// aggregate's group first-seen rank) and gather-merged, so results are
 /// byte-identical to DoP=1.
 ///
 /// Parallel-safe plan shape (anything else falls back to sequential):
 ///
-///   [Project|Filter]* -> [FilterJoin]? -> ([Project|Filter]* HashJoin)*
+///   [Project|Filter]* -> [HashAggregate]? -> [Project|Filter]*
+///     -> [FilterJoin]? -> ([Project|Filter]* HashJoin)*
 ///     -> SeqScan                         (each HashJoin inner:
 ///                                          [Project|Filter]* -> SeqScan)
 class ParallelExecutor {

@@ -1,0 +1,94 @@
+#include "src/parallel/partitioned_aggregate.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/cost_counters.h"
+#include "src/common/logging.h"
+#include "src/exec/exec_context.h"
+
+namespace magicdb {
+
+SharedAggregate::SharedAggregate(int num_workers, int64_t memory_budget_bytes)
+    : num_workers_(num_workers),
+      memory_budget_bytes_(memory_budget_bytes),
+      staging_(num_workers),
+      staged_barrier_(num_workers) {
+  for (auto& per_worker : staging_) per_worker.resize(num_workers);
+}
+
+void SharedAggregate::Stage(int worker, StagedGroup group) {
+  const int partition = static_cast<int>(group.hash % num_workers_);
+  staging_[worker][partition].push_back(std::move(group));
+}
+
+void SharedAggregate::AddInputBytes(int64_t bytes) {
+  total_input_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Status SharedAggregate::MergeOwnPartition(int worker, ExecContext* ctx,
+                                          std::vector<StagedGroup>* merged) {
+  // All staging writes happen-before the barrier; afterwards partition
+  // `worker` is read by this worker only, so one barrier suffices.
+  MAGICDB_RETURN_IF_ERROR(staged_barrier_.ArriveAndWait());
+
+  std::vector<StagedGroup> staged;
+  for (int w = 0; w < num_workers_; ++w) {
+    auto& src = staging_[w][worker];
+    staged.insert(staged.end(), std::make_move_iterator(src.begin()),
+                  std::make_move_iterator(src.end()));
+    src.clear();
+    src.shrink_to_fit();
+  }
+  // Sequential first-seen order within the partition: ascending first-seen
+  // input rank. Combining equal keys in this order also fixes the double
+  // summation order deterministically at every DoP.
+  std::sort(staged.begin(), staged.end(),
+            [](const StagedGroup& a, const StagedGroup& b) {
+              return a.pos != b.pos ? a.pos < b.pos : a.sub < b.sub;
+            });
+  merged->clear();
+  merged->reserve(staged.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  for (StagedGroup& g : staged) {
+    std::vector<size_t>& chain = index[g.hash];
+    StagedGroup* into = nullptr;
+    for (size_t gi : chain) {
+      if (CompareTuples((*merged)[gi].key, g.key) == 0) {
+        into = &(*merged)[gi];
+        break;
+      }
+    }
+    if (into == nullptr) {
+      chain.push_back(merged->size());
+      merged->push_back(std::move(g));
+      continue;
+    }
+    MAGICDB_CHECK(into->states.size() == g.states.size());
+    for (size_t a = 0; a < g.states.size(); ++a) {
+      into->states[a].CombineFrom(g.states[a]);
+    }
+  }
+
+  if (worker == 0) {
+    // Grace partitioning-pass decision on the *global* input size, charged
+    // exactly once (attribution to worker 0 is arbitrary; merged totals
+    // are what the single-writer counter contract guarantees).
+    const int64_t input_bytes =
+        total_input_bytes_.load(std::memory_order_relaxed);
+    if (input_bytes > memory_budget_bytes_) {
+      const int64_t pages =
+          (input_bytes + CostConstants::kPageSizeBytes - 1) /
+          CostConstants::kPageSizeBytes;
+      ctx->counters().pages_written += pages;
+      ctx->counters().pages_read += pages;
+    }
+  }
+  return Status::OK();
+}
+
+void SharedAggregate::Abort(Status status) {
+  staged_barrier_.Abort(std::move(status));
+}
+
+}  // namespace magicdb

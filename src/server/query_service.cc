@@ -1,6 +1,7 @@
 #include "src/server/query_service.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -79,6 +80,24 @@ void SubmitPump(const std::shared_ptr<PumpState>& st) {
   st->pool->Submit([st] { RunQuantum(st); });
 }
 
+/// Fallback reasons become metric label values: the plan-specific suffix
+/// after ':' is dropped (e.g. "unsupported operator in pipeline: Sort(...)")
+/// so cardinality stays bounded, then lowercased with non-alphanumerics
+/// collapsed to '_'.
+std::string SanitizeReasonLabel(const std::string& reason) {
+  std::string label = reason.substr(0, reason.find(':'));
+  for (char& c : label) {
+    c = std::isalnum(static_cast<unsigned char>(c))
+            ? static_cast<char>(
+                  std::tolower(static_cast<unsigned char>(c)))
+            : '_';
+  }
+  return label;
+}
+
+const char kFallbackMetricPrefix[] =
+    "magicdb_server_parallel_fallbacks_total{reason=";
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
@@ -91,7 +110,11 @@ std::string ServiceStats::ToString() const {
      << " plan_cache_misses=" << plan_cache_misses
      << " instance_reuses=" << plan_instance_reuses
      << " sched_quanta=" << sched_quanta
-     << " morsels_stolen=" << morsels_stolen << " ddl_epoch=" << ddl_epoch;
+     << " morsels_stolen=" << morsels_stolen << " ddl_epoch=" << ddl_epoch
+     << " parallel_fallbacks=" << parallel_fallbacks;
+  for (const auto& [reason, count] : parallel_fallback_reasons) {
+    os << " fallback[" << reason << "]=" << count;
+  }
   return os.str();
 }
 
@@ -130,6 +153,8 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
       metrics_.counter("magicdb_server_plan_instance_reuses_total");
   sched_quanta_ = metrics_.counter("magicdb_server_sched_quanta_total");
   morsels_stolen_ = metrics_.counter("magicdb_server_morsels_stolen_total");
+  parallel_fallbacks_ =
+      metrics_.counter("magicdb_server_parallel_fallbacks_total");
   admission_wait_us_ = metrics_.histogram("magicdb_server_admission_wait_us");
   query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
 }
@@ -347,6 +372,9 @@ StatusOr<QueryResult> QueryService::QueryAdmitted(Session* session,
     result.used_dop = run.used_dop;
     result.parallel_fallback_reason =
         has_limit ? "LIMIT clause" : std::move(run.fallback_reason);
+    if (result.used_dop < effective_dop) {
+      RecordParallelFallback(result.parallel_fallback_reason);
+    }
     if (run.has_filter_join) {
       result.filter_join_measured.push_back(run.filter_join_measured);
     }
@@ -376,6 +404,13 @@ StatusOr<QueryResult> QueryService::QueryAdmitted(Session* session,
   return result;
 }
 
+void QueryService::RecordParallelFallback(const std::string& reason) {
+  parallel_fallbacks_->Increment();
+  metrics_
+      .counter(kFallbackMetricPrefix + SanitizeReasonLabel(reason) + "}")
+      ->Increment();
+}
+
 ServiceStats QueryService::StatsSnapshot() const {
   morsels_stolen_->Set(pool_->steal_count());
   ServiceStats s;
@@ -392,6 +427,16 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.sched_quanta = sched_quanta_->Value();
   s.morsels_stolen = morsels_stolen_->Value();
   s.ddl_epoch = db_->catalog()->ddl_epoch();
+  s.parallel_fallbacks = parallel_fallbacks_->Value();
+  const std::string prefix = kFallbackMetricPrefix;
+  for (const auto& [name, value] : metrics_.CounterValues()) {
+    if (name.size() > prefix.size() + 1 &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      const std::string reason =
+          name.substr(prefix.size(), name.size() - prefix.size() - 1);
+      s.parallel_fallback_reasons[reason] = value;
+    }
+  }
   s.admission_wait_us_p50 = admission_wait_us_->Quantile(0.50);
   s.admission_wait_us_p95 = admission_wait_us_->Quantile(0.95);
   s.query_latency_us_p50 = query_latency_us_->Quantile(0.50);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -56,6 +57,11 @@ struct ServiceStats {
   int64_t sched_quanta = 0;
   int64_t morsels_stolen = 0;
   int64_t ddl_epoch = 0;
+  /// Parallel queries (requested dop > 1) that ran sequentially, total and
+  /// broken down by sanitized fallback reason — a sequential regression
+  /// shows up here instead of silently shifting latencies.
+  int64_t parallel_fallbacks = 0;
+  std::map<std::string, int64_t> parallel_fallback_reasons;
   double admission_wait_us_p50 = 0.0;
   double admission_wait_us_p95 = 0.0;
   double query_latency_us_p50 = 0.0;
@@ -152,6 +158,11 @@ class QueryService {
                                       const CancelTokenPtr& token,
                                       int effective_dop);
 
+  /// Counts one parallel-requested query that fell back to sequential:
+  /// bumps the total plus a per-reason counter
+  /// (`magicdb_server_parallel_fallbacks_total{reason=...}`).
+  void RecordParallelFallback(const std::string& reason);
+
   Database* db_;
   QueryServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -183,6 +194,7 @@ class QueryService {
   Counter* plan_instance_reuses_;
   Counter* sched_quanta_;
   Counter* morsels_stolen_;
+  Counter* parallel_fallbacks_;
   LatencyHistogram* admission_wait_us_;
   LatencyHistogram* query_latency_us_;
 };

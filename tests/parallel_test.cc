@@ -14,6 +14,9 @@
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/db/database.h"
+#include "src/exec/agg_state.h"
+#include "src/exec/aggregate_op.h"
+#include "src/expr/expr.h"
 #include "src/optimizer/cost_model.h"
 #include "src/parallel/morsel.h"
 #include "src/parallel/parallel_exec.h"
@@ -244,9 +247,9 @@ TEST(ParallelExecTest, ViewBuildSideFallsBack) {
 TEST(ParallelExecTest, UnsafeShapesFallBackAndStayCorrect) {
   Database db;
   MakeWorkload(&db);
-  // Aggregation at the top is not a parallel-safe pipeline shape.
+  // A Sort at the top is not a parallel-safe pipeline shape.
   const char* query =
-      "SELECT E.did, AVG(E.sal) AS a FROM Emp E GROUP BY E.did";
+      "SELECT E.eid, E.sal FROM Emp E WHERE E.age < 30 ORDER BY eid";
   auto par = db.ExecuteParallel(query, 4);
   ASSERT_TRUE(par.ok()) << par.status().ToString();
   EXPECT_EQ(par->used_dop, 1);
@@ -255,6 +258,256 @@ TEST(ParallelExecTest, UnsafeShapesFallBackAndStayCorrect) {
   ASSERT_TRUE(plain.ok());
   ExpectRowsIdentical(par->rows, plain->rows);
   ExpectCountersEqual(par->counters, plain->counters);
+}
+
+// ----- Parallel aggregation -----
+
+TEST(ParallelAggTest, GroupByIdenticalAtEveryDop) {
+  Database db;
+  MakeWorkload(&db);
+  // COUNT / SUM(int) / MIN / MAX / AVG(int): every double addition the
+  // merge performs is exact, so parallel results must be byte-identical to
+  // sequential, not merely close.
+  const char* query =
+      "SELECT E.did, COUNT(*) AS c, SUM(E.eid) AS s, MIN(E.sal) AS mn, "
+      "MAX(E.age) AS mx, AVG(E.eid) AS av FROM Emp E GROUP BY E.did";
+  auto seq = db.ExecuteParallel(query, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_EQ(seq->rows.size(), 200u);
+  for (int dop : {2, 4, 8}) {
+    auto par = db.ExecuteParallel(query, dop);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par->used_dop, dop) << par->parallel_fallback_reason;
+    ExpectRowsIdentical(par->rows, seq->rows);
+    ExpectCountersEqual(par->counters, seq->counters);
+  }
+  // The plain sequential path agrees too (same first-seen output order).
+  auto plain = db.Query(query);
+  ASSERT_TRUE(plain.ok());
+  ExpectRowsIdentical(seq->rows, plain->rows);
+  ExpectCountersEqual(seq->counters, plain->counters);
+}
+
+TEST(ParallelAggTest, GroupByOverHashJoinIdenticalAtEveryDop) {
+  Database db;
+  MakeWorkload(&db);
+  // Aggregation above a partitioned hash join: group first-seen order is
+  // ranked by the join's probe positions (with fan-out disambiguated by
+  // the per-position emission index).
+  const char* query =
+      "SELECT E.did, COUNT(*) AS c, SUM(E.eid) AS s, MIN(E.sal) AS m "
+      "FROM Emp E, Dept D WHERE E.did = D.did AND D.budget > 100000 "
+      "GROUP BY E.did";
+  auto seq = db.ExecuteParallel(query, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_FALSE(seq->rows.empty());
+  for (int dop : {2, 4, 8}) {
+    auto par = db.ExecuteParallel(query, dop);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par->used_dop, dop) << par->parallel_fallback_reason;
+    ExpectRowsIdentical(par->rows, seq->rows);
+    ExpectCountersEqual(par->counters, seq->counters);
+  }
+}
+
+TEST(ParallelAggTest, GroupByOverFilterJoinIdenticalAtEveryDop) {
+  Database db;
+  MakeWorkload(&db);
+  // Aggregation above the magic Filter Join: the (pos, sub) ranks flow from
+  // the filter join's probe positions through the aggregate's group
+  // first-seen order.
+  const char* query =
+      "SELECT E.did, COUNT(*) AS c, MIN(E.sal) AS m "
+      "FROM Emp E, Dept D, DepComp V "
+      "WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgcomp "
+      "AND E.age < 30 AND D.budget > 100000 GROUP BY E.did";
+  auto seq = db.ExecuteParallel(query, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_FALSE(seq->rows.empty());
+  ASSERT_FALSE(seq->filter_join_measured.empty())
+      << "workload regressed: expected a Filter Join in the plan";
+  for (int dop : {2, 4, 8}) {
+    auto par = db.ExecuteParallel(query, dop);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par->used_dop, dop) << par->parallel_fallback_reason;
+    ExpectRowsIdentical(par->rows, seq->rows);
+    ExpectCountersEqual(par->counters, seq->counters);
+  }
+}
+
+TEST(ParallelAggTest, NullOnlyGroupsStayNullAtEveryDop) {
+  Database db;
+  MAGICDB_CHECK_OK(db.Execute("CREATE TABLE T (g INT, v DOUBLE)"));
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 4000; ++i) {
+    const int g = i % 8;
+    // Groups 0..3 carry (integer-valued) doubles; groups 4..7 are
+    // NULL-only and must finalize to NULL / COUNT 0 after the merge.
+    rows.push_back({Value::Int64(g), g < 4 ? Value::Double(i)
+                                           : Value::Null()});
+  }
+  MAGICDB_CHECK_OK(db.LoadRows("T", std::move(rows)));
+  const char* query =
+      "SELECT T.g, COUNT(T.v) AS c, SUM(T.v) AS s, MIN(T.v) AS mn, "
+      "AVG(T.v) AS a FROM T GROUP BY T.g";
+  auto seq = db.ExecuteParallel(query, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_EQ(seq->rows.size(), 8u);
+  for (const Tuple& row : seq->rows) {
+    if (row[0].AsInt64() < 4) continue;
+    EXPECT_EQ(row[1].AsInt64(), 0);
+    EXPECT_TRUE(row[2].is_null());
+    EXPECT_TRUE(row[3].is_null());
+    EXPECT_TRUE(row[4].is_null());
+  }
+  for (int dop : {2, 4, 8}) {
+    auto par = db.ExecuteParallel(query, dop);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par->used_dop, dop) << par->parallel_fallback_reason;
+    ExpectRowsIdentical(par->rows, seq->rows);
+    ExpectCountersEqual(par->counters, seq->counters);
+  }
+}
+
+TEST(ParallelAggTest, EmptyInputScalarAggregateOneRowAtEveryDop) {
+  Database db;
+  MAGICDB_CHECK_OK(db.Execute("CREATE TABLE T (g INT, v DOUBLE)"));
+  // No rows loaded: a scalar aggregate still yields exactly one row, with
+  // COUNT(*) = 0 and NULL for the value aggregates — at every DoP, even
+  // though no worker ever claims a morsel.
+  const char* query =
+      "SELECT COUNT(*) AS c, COUNT(T.v) AS cv, SUM(T.v) AS s, "
+      "MIN(T.v) AS m FROM T";
+  auto seq = db.ExecuteParallel(query, 1);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_EQ(seq->rows.size(), 1u);
+  EXPECT_EQ(seq->rows[0][0].AsInt64(), 0);
+  EXPECT_EQ(seq->rows[0][1].AsInt64(), 0);
+  EXPECT_TRUE(seq->rows[0][2].is_null());
+  EXPECT_TRUE(seq->rows[0][3].is_null());
+  for (int dop : {2, 4, 8}) {
+    auto par = db.ExecuteParallel(query, dop);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(par->used_dop, dop) << par->parallel_fallback_reason;
+    ExpectRowsIdentical(par->rows, seq->rows);
+    ExpectCountersEqual(par->counters, seq->counters);
+  }
+}
+
+// Builds a partial state over int64 inputs exactly as the operator's
+// accumulate path does.
+AggState MakeIntState(std::initializer_list<int64_t> vals) {
+  AggState st;
+  for (int64_t v : vals) {
+    st.count += 1;
+    st.sum += static_cast<double>(v);
+    if (st.int_sum) st.isum += v;
+    Value val = Value::Int64(v);
+    if (st.min.is_null() || val.Compare(st.min) < 0) st.min = val;
+    if (st.max.is_null() || val.Compare(st.max) > 0) st.max = val;
+  }
+  return st;
+}
+
+TEST(AggStateTest, CombineAddsExactlyAndEmptyIsIdentity) {
+  AggState a = MakeIntState({1, 2, 3});
+  AggState b = MakeIntState({10, -5});
+  AggState merged = a;
+  merged.CombineFrom(b);
+  EXPECT_EQ(merged.count, 5);
+  EXPECT_TRUE(merged.int_sum);
+  EXPECT_EQ(merged.isum, 11);
+  EXPECT_EQ(merged.sum, 11.0);
+  EXPECT_EQ(merged.min.AsInt64(), -5);
+  EXPECT_EQ(merged.max.AsInt64(), 10);
+
+  // An empty (all-NULL / no-input) partial is the combine identity.
+  AggState with_empty = a;
+  with_empty.CombineFrom(AggState{});
+  EXPECT_EQ(with_empty.count, a.count);
+  EXPECT_EQ(with_empty.isum, a.isum);
+  EXPECT_TRUE(with_empty.int_sum);
+  EXPECT_EQ(with_empty.min.Compare(a.min), 0);
+  EXPECT_EQ(with_empty.max.Compare(a.max), 0);
+}
+
+TEST(AggStateTest, Int64PromotionIdenticalUnderMergeOrder) {
+  AggState ints = MakeIntState({1, 2, 3});
+  AggState dbls;  // one double input: 2.5 forces SUM promotion
+  dbls.count = 1;
+  dbls.sum = 2.5;
+  dbls.int_sum = false;
+  dbls.min = Value::Double(2.5);
+  dbls.max = Value::Double(2.5);
+
+  AggState ab = ints;
+  ab.CombineFrom(dbls);
+  AggState ba = dbls;
+  ba.CombineFrom(ints);
+  // Either merge order demotes int64 exactness — exactly as a sequential
+  // pass over the union of inputs would — and yields the same sum.
+  EXPECT_FALSE(ab.int_sum);
+  EXPECT_FALSE(ba.int_sum);
+  EXPECT_EQ(ab.sum, 8.5);
+  EXPECT_EQ(ba.sum, 8.5);
+  EXPECT_EQ(ab.count, 4);
+  EXPECT_EQ(ba.count, 4);
+  EXPECT_EQ(ab.min.Compare(ba.min), 0);
+  EXPECT_EQ(ab.max.Compare(ba.max), 0);
+}
+
+// Source operator that never checks the cancellation token, isolating the
+// aggregate build loop's own checkpoint.
+class UncheckedSourceOp final : public Operator {
+ public:
+  UncheckedSourceOp(Schema schema, int64_t rows)
+      : Operator(std::move(schema)), rows_(rows) {}
+  Status Open(ExecContext* /*ctx*/) override {
+    next_ = 0;
+    return Status::OK();
+  }
+  Status Next(Tuple* out, bool* eof) override {
+    if (next_ >= rows_) {
+      *eof = true;
+      return Status::OK();
+    }
+    *out = {Value::Int64(next_ % 7), Value::Int64(next_)};
+    ++next_;
+    *eof = false;
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  std::string Describe() const override { return "UncheckedSource"; }
+
+ private:
+  int64_t rows_;
+  int64_t next_ = 0;
+};
+
+TEST(ParallelAggTest, BuildLoopHitsCancellationCheckpoint) {
+  Schema in(std::vector<Column>{{"t", "g", DataType::kInt64},
+                                {"t", "v", DataType::kInt64}});
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(MakeColumnRef(0, DataType::kInt64, "g"));
+  std::vector<AggSpec> aggs;
+  AggSpec spec;
+  spec.func = AggFunc::kSum;
+  spec.arg = MakeColumnRef(1, DataType::kInt64, "v");
+  spec.output_name = "s";
+  aggs.push_back(std::move(spec));
+  Schema out(std::vector<Column>{{"", "g", DataType::kInt64},
+                                 {"", "s", DataType::kInt64}});
+  HashAggregateOp agg(std::make_unique<UncheckedSourceOp>(in, 100000),
+                      std::move(group_by), std::move(aggs), out);
+  ExecContext ctx;
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  ctx.set_cancel_token(token);
+  // The child never checks the token, so only the aggregate's build-loop
+  // checkpoint can stop this 100k-row aggregation.
+  Status st = agg.Open(&ctx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
 }
 
 TEST(ParallelExecTest, LimitFallsBack) {
@@ -277,6 +530,14 @@ TEST(ParallelExecTest, DopCostingKnobDividesCpuTermsOnly) {
   EXPECT_NEAR(costs::HashBuild(1000, 4), costs::HashBuild(1000) / 4.0, 1e-9);
   EXPECT_NEAR(costs::HashProbe(1000, 100, 2),
               costs::HashProbe(1000, 100) / 2.0, 1e-9);
+  EXPECT_NEAR(costs::HashAggregate(1000, 3000, 50, 4),
+              costs::HashAggregate(1000, 3000, 50) / 4.0, 1e-9);
+  // At dop=1 the aggregate formula decomposes into the pre-existing terms,
+  // so sequential plan costs are unchanged by the refactor.
+  EXPECT_NEAR(costs::HashAggregate(1000, 3000, 50),
+              costs::HashBuild(1000) + costs::ExprEval(3000) +
+                  costs::TupleCpu(50),
+              1e-12);
 
   // The knob flows through OptimizerOptions into plan cost estimates.
   Database db;
@@ -289,6 +550,17 @@ TEST(ParallelExecTest, DopCostingKnobDividesCpuTermsOnly) {
   auto est4 = db.Query(query);
   ASSERT_TRUE(est4.ok());
   EXPECT_LT(est4->est_cost, est1->est_cost);
+
+  // GROUP BY plans are credited for parallel aggregation too.
+  const char* agg_query =
+      "SELECT E.did, COUNT(*) AS c FROM Emp E GROUP BY E.did";
+  db.mutable_optimizer_options()->degree_of_parallelism = 1;
+  auto agg1 = db.Query(agg_query);
+  ASSERT_TRUE(agg1.ok());
+  db.mutable_optimizer_options()->degree_of_parallelism = 4;
+  auto agg4 = db.Query(agg_query);
+  ASSERT_TRUE(agg4.ok());
+  EXPECT_LT(agg4->est_cost, agg1->est_cost);
 }
 
 }  // namespace

@@ -283,6 +283,63 @@ TEST(QueryServiceTest, ParallelQueryIdenticalOnSharedPool) {
   ExpectCountersEqual(par->counters, baseline->counters);
 }
 
+TEST(QueryServiceTest, GroupByRunsParallelOnSharedPool) {
+  Database db;
+  MakeWorkload(&db);
+  const char* agg_query =
+      "SELECT E.did, COUNT(*) AS c, SUM(E.eid) AS s, MIN(E.sal) AS m "
+      "FROM Emp E GROUP BY E.did";
+  auto baseline = db.Query(agg_query);
+  ASSERT_TRUE(baseline.ok());
+
+  QueryServiceOptions so;
+  so.pool_threads = 2;
+  QueryService service(&db, so);
+  std::unique_ptr<Session> session = service.CreateSession();
+  ExecOptions exec;
+  exec.dop = 2;
+  auto par = session->Query(agg_query, exec);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(par->used_dop, 2) << par->parallel_fallback_reason;
+  ExpectRowsIdentical(par->rows, baseline->rows);
+  ExpectCountersEqual(par->counters, baseline->counters);
+  EXPECT_EQ(service.StatsSnapshot().parallel_fallbacks, 0);
+}
+
+TEST(QueryServiceTest, ParallelFallbacksAreCounted) {
+  Database db;
+  MakeWorkload(&db);
+  QueryServiceOptions so;
+  so.pool_threads = 4;
+  QueryService service(&db, so);
+  std::unique_ptr<Session> session = service.CreateSession();
+  ExecOptions exec;
+  exec.dop = 4;
+  // A Sort is an unsupported pipeline shape; LIMIT falls back before
+  // planning replicas. Both must surface in the fallback metrics.
+  auto sorted =
+      session->Query("SELECT E.eid, E.sal FROM Emp E ORDER BY eid", exec);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ(sorted->used_dop, 1);
+  EXPECT_FALSE(sorted->parallel_fallback_reason.empty());
+  auto limited = session->Query("SELECT E.eid FROM Emp E LIMIT 5", exec);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  EXPECT_EQ(limited->used_dop, 1);
+
+  ServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.parallel_fallbacks, 2);
+  ASSERT_EQ(stats.parallel_fallback_reasons.size(), 2u);
+  EXPECT_EQ(
+      stats.parallel_fallback_reasons.at("unsupported_operator_in_pipeline"),
+      1);
+  EXPECT_EQ(stats.parallel_fallback_reasons.at("limit_clause"), 1);
+  EXPECT_NE(stats.ToString().find("parallel_fallbacks=2"), std::string::npos);
+  EXPECT_NE(service.MetricsText().find(
+                "magicdb_server_parallel_fallbacks_total{reason="
+                "limit_clause}"),
+            std::string::npos);
+}
+
 TEST(QueryServiceTest, DdlInvalidatesCachedPlans) {
   Database db;
   MakeWorkload(&db);
