@@ -4,23 +4,36 @@
 // the service's own histogram), and the plan-cache hit rate, at per-query
 // DoP 1, 2 and 4.
 //
+// A second section exercises the streaming cursor path: one session drains
+// a large scan through Session::Open/Cursor::Fetch and reports
+// time-to-first-row vs time-to-last-row at DoP 1, 2 and 4, plus the
+// observed queue peak and producer park count (the backpressure facts).
+// Sequential streams deliver their first row after one scheduler quantum;
+// a parallel gang runs to completion inside Open, so its first row costs
+// almost the whole query — the gap is the documented trade-off.
+//
 // Correctness is asserted, not assumed: every session compares each result
 // against a sequential Database::Query() baseline captured before the
 // service starts — any row or counter divergence aborts the bench.
 //
 // Throughput is hardware-bound; the header prints the detected core count.
 // `--json <path>` additionally writes the table as a JSON document.
+// `--smoke` shrinks the workload to a seconds-long CI pass (used by
+// scripts/check.sh under TSAN and ASAN to race-test the cursor plumbing).
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/server/cursor.h"
 #include "src/server/query_service.h"
 #include "src/server/session.h"
 #include "workloads/json_writer.h"
@@ -30,8 +43,9 @@
 namespace magicdb::bench {
 namespace {
 
-constexpr int kSessions = 4;
-constexpr int kQueriesPerSession = 40;
+int g_sessions = 4;
+int g_queries_per_session = 40;
+int g_stream_iters = 3;
 
 const char* kStatements[] = {
     kFigure1Query,
@@ -40,6 +54,10 @@ const char* kStatements[] = {
     "WHERE E.did = D.did AND E.age < 30 AND D.budget > 100000",
 };
 constexpr int kNumStatements = 3;
+
+// Streaming workload: a wide scan whose result dwarfs the cursor queue, so
+// time-to-first-row genuinely measures streaming (not result size).
+const char* kStreamQuery = "SELECT E.did, E.sal, E.age FROM Emp E";
 
 std::string Fmt(double v) {
   std::ostringstream os;
@@ -76,19 +94,19 @@ RunResult RunClosedLoop(Database* db, const std::vector<QueryResult>& baseline,
   so.pool_threads = 4;
   QueryService service(db, so);
   std::vector<std::unique_ptr<Session>> sessions;
-  for (int s = 0; s < kSessions; ++s) {
+  for (int s = 0; s < g_sessions; ++s) {
     sessions.push_back(service.CreateSession());
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
-  threads.reserve(kSessions);
-  for (int s = 0; s < kSessions; ++s) {
+  threads.reserve(g_sessions);
+  for (int s = 0; s < g_sessions; ++s) {
     threads.emplace_back([&, s] {
       Session* session = sessions[s].get();
       ExecOptions exec;
       exec.dop = dop;
-      for (int i = 0; i < kQueriesPerSession; ++i) {
+      for (int i = 0; i < g_queries_per_session; ++i) {
         const int qi = (s + i) % kNumStatements;
         auto r = session->Query(kStatements[qi], exec);
         MAGICDB_CHECK_OK(r.status());
@@ -102,7 +120,7 @@ RunResult RunClosedLoop(Database* db, const std::vector<QueryResult>& baseline,
           .count();
 
   ServiceStats stats = service.StatsSnapshot();
-  MAGICDB_CHECK(stats.queries_completed == kSessions * kQueriesPerSession);
+  MAGICDB_CHECK(stats.queries_completed == g_sessions * g_queries_per_session);
   RunResult out;
   out.qps = static_cast<double>(stats.queries_completed) / elapsed_s;
   out.p50_us = stats.query_latency_us_p50;
@@ -115,15 +133,79 @@ RunResult RunClosedLoop(Database* db, const std::vector<QueryResult>& baseline,
   return out;
 }
 
-void Run(const std::string& json_path) {
+struct StreamResult {
+  double ttfr_us = 0.0;  // time to first fetched row
+  double ttlr_us = 0.0;  // time to last row (end of stream)
+  int used_dop = 1;
+  int64_t rows = 0;
+  int64_t peak_buffered_rows = 0;
+  int64_t producer_parks = 0;
+};
+
+StreamResult RunStreaming(Database* db, const QueryResult& baseline, int dop) {
+  QueryServiceOptions so;
+  so.pool_threads = 4;
+  so.scheduler_quantum_rows = 256;
+  so.stream_queue_rows = 512;  // tight queue: backpressure must engage
+  QueryService service(db, so);
+  std::unique_ptr<Session> session = service.CreateSession();
+  ExecOptions exec;
+  exec.dop = dop;
+
+  StreamResult best;
+  for (int iter = 0; iter < g_stream_iters; ++iter) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto us_since_t0 = [&t0] {
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    auto cursor = session->Open(kStreamQuery, exec);
+    MAGICDB_CHECK_OK(cursor.status());
+    std::vector<Tuple> rows;
+    rows.reserve(baseline.rows.size());
+    double ttfr = 0.0;
+    while (true) {
+      auto batch = cursor->Fetch(256);
+      MAGICDB_CHECK_OK(batch.status());
+      if (batch->empty()) break;
+      if (rows.empty()) ttfr = us_since_t0();
+      for (Tuple& t : *batch) rows.push_back(std::move(t));
+    }
+    StreamResult out;
+    out.ttfr_us = ttfr;
+    out.ttlr_us = us_since_t0();
+    out.used_dop = cursor->used_dop();
+    out.rows = static_cast<int64_t>(rows.size());
+    out.peak_buffered_rows = cursor->peak_buffered_rows();
+    out.producer_parks = cursor->producer_parks();
+    MAGICDB_CHECK(rows.size() == baseline.rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      MAGICDB_CHECK(CompareTuples(rows[i], baseline.rows[i]) == 0);
+    }
+    // The bounded-memory contract, asserted on every iteration.
+    MAGICDB_CHECK(out.peak_buffered_rows <=
+                  so.stream_queue_rows + so.scheduler_quantum_rows);
+    MAGICDB_CHECK_OK(cursor->Close());
+    if (iter == 0 || out.ttlr_us < best.ttlr_us) best = out;
+  }
+  return best;
+}
+
+void Run(const std::string& json_path, bool smoke) {
+  if (smoke) {
+    g_sessions = 2;
+    g_queries_per_session = 4;
+    g_stream_iters = 1;
+  }
   std::cout << "hardware threads detected: "
             << std::thread::hardware_concurrency() << "\n";
-  std::cout << "closed loop: " << kSessions << " sessions x "
-            << kQueriesPerSession << " queries, " << kNumStatements
+  std::cout << "closed loop: " << g_sessions << " sessions x "
+            << g_queries_per_session << " queries, " << kNumStatements
             << " distinct statements, shared pool of 4 workers\n\n";
 
   Figure1Options opts;
-  opts.num_depts = 500;
+  opts.num_depts = smoke ? 100 : 500;
   opts.emps_per_dept = 20;
   opts.young_frac = 0.05;
   opts.big_frac = 0.05;
@@ -141,6 +223,8 @@ void Run(const std::string& json_path) {
     MAGICDB_CHECK_OK(r.status());
     baseline.push_back(std::move(*r));
   }
+  auto stream_baseline = db->Query(kStreamQuery);
+  MAGICDB_CHECK_OK(stream_baseline.status());
 
   TablePrinter table({"dop", "qps", "p50_us", "p95_us", "p99_us",
                       "plan_cache_hit_rate", "morsels_stolen"});
@@ -161,7 +245,32 @@ void Run(const std::string& json_path) {
   }
   table.Print();
   std::cout << "(every result verified byte-identical to Database::Query(), "
-               "counters exact)\n";
+               "counters exact)\n\n";
+
+  std::cout << "streaming: " << stream_baseline->rows.size()
+            << "-row scan through Session::Open / Cursor::Fetch(256), "
+               "queue high-water 512 rows\n\n";
+  TablePrinter stream_table({"dop", "used_dop", "rows", "ttfr_us", "ttlr_us",
+                             "peak_buffered_rows", "producer_parks"});
+  Json stream_results = Json::Array();
+  for (int dop : {1, 2, 4}) {
+    const StreamResult r = RunStreaming(db.get(), *stream_baseline, dop);
+    stream_table.AddRow({std::to_string(dop), std::to_string(r.used_dop),
+                         std::to_string(r.rows), Fmt(r.ttfr_us),
+                         Fmt(r.ttlr_us), std::to_string(r.peak_buffered_rows),
+                         std::to_string(r.producer_parks)});
+    stream_results.Append(Json::Object()
+                              .Set("dop", dop)
+                              .Set("used_dop", r.used_dop)
+                              .Set("rows", r.rows)
+                              .Set("ttfr_us", r.ttfr_us)
+                              .Set("ttlr_us", r.ttlr_us)
+                              .Set("peak_buffered_rows", r.peak_buffered_rows)
+                              .Set("producer_parks", r.producer_parks));
+  }
+  stream_table.Print();
+  std::cout << "(batches concatenate byte-identical to Database::Query(); "
+               "peak buffered rows bounded by queue + one quantum)\n";
 
   if (!json_path.empty()) {
     Json doc = Json::Object()
@@ -169,10 +278,11 @@ void Run(const std::string& json_path) {
                    .Set("hardware_threads",
                         static_cast<int64_t>(
                             std::thread::hardware_concurrency()))
-                   .Set("sessions", kSessions)
-                   .Set("queries_per_session", kQueriesPerSession)
+                   .Set("sessions", g_sessions)
+                   .Set("queries_per_session", g_queries_per_session)
                    .Set("pool_threads", 4)
-                   .Set("results", std::move(results));
+                   .Set("results", std::move(results))
+                   .Set("streaming", std::move(stream_results));
     if (WriteJsonFile(json_path, doc)) {
       std::cout << "JSON results written to " << json_path << "\n";
     }
@@ -183,6 +293,10 @@ void Run(const std::string& json_path) {
 }  // namespace magicdb::bench
 
 int main(int argc, char** argv) {
-  magicdb::bench::Run(magicdb::bench::JsonPathFromArgs(argc, argv));
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  magicdb::bench::Run(magicdb::bench::JsonPathFromArgs(argc, argv), smoke);
   return 0;
 }

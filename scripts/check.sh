@@ -10,6 +10,10 @@
 #   3. AddressSanitizer+UndefinedBehaviorSanitizer build, full test suite
 #      (lifetime bugs in pooled plan instances, cancellation unwinds, and
 #      UB anywhere; MAGICDB_SANITIZE=address enables both).
+# Every build also smoke-runs bench_server_throughput, whose closed-loop and
+# streaming-cursor sections assert byte-identity against Database::Query and
+# the cursor queue's bounded-memory contract while racing sessions on the
+# shared pool.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +28,9 @@ ctest --test-dir build-release --output-on-failure --timeout 120 -j "${JOBS}" "$
 echo "=== Parallel-scaling bench smoke (Release, DoP 2) ==="
 ./build-release/bench/bench_parallel_scaling --smoke
 
+echo "=== Server-throughput bench smoke (Release) ==="
+./build-release/bench/bench_server_throughput --smoke
+
 echo "=== ThreadSanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=thread >/dev/null
@@ -33,10 +40,16 @@ ctest --test-dir build-tsan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 echo "=== Parallel-scaling bench smoke (TSAN, DoP 2) ==="
 ./build-tsan/bench/bench_parallel_scaling --smoke
 
+echo "=== Server-throughput bench smoke (TSAN) ==="
+./build-tsan/bench/bench_server_throughput --smoke
+
 echo "=== AddressSanitizer+UBSan build ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== Server-throughput bench smoke (ASan+UBSan) ==="
+./build-asan/bench/bench_server_throughput --smoke
 
 echo "All checks passed."

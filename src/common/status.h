@@ -22,6 +22,7 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kUnavailable,
+  kFailedPrecondition,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -79,6 +80,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,141 @@
+#include "src/exec/result_sink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace magicdb {
+
+namespace {
+// Poll period for consumer-side waits: long enough to be free, short
+// enough that a deadline firing while blocked surfaces promptly (the same
+// bound the admission controller uses).
+constexpr std::chrono::milliseconds kWaitTick{2};
+}  // namespace
+
+ResultSink::ResultSink(int64_t high_water_rows)
+    : high_water_rows_(high_water_rows < 1 ? 1 : high_water_rows) {}
+
+bool ResultSink::ReserveOrPark(std::function<void()> resume) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // While draining, capacity is unbounded on purpose: the consumer is
+  // discarding rows and only wants the producer to reach Finish.
+  if (draining_ || static_cast<int64_t>(rows_.size()) < high_water_rows_) {
+    return true;
+  }
+  parked_resume_ = std::move(resume);
+  ++producer_parks_;
+  return false;
+}
+
+void ResultSink::Push(std::vector<Tuple> batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_rows_pushed_ += static_cast<int64_t>(batch.size());
+    for (Tuple& t : batch) rows_.push_back(std::move(t));
+    if (static_cast<int64_t>(rows_.size()) > peak_queued_rows_) {
+      peak_queued_rows_ = static_cast<int64_t>(rows_.size());
+    }
+  }
+  consumer_cv_.notify_all();
+}
+
+void ResultSink::Finish(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    final_status_ = std::move(status);
+  }
+  consumer_cv_.notify_all();
+}
+
+StatusOr<std::vector<Tuple>> ResultSink::Fetch(int64_t max_rows,
+                                               const CancelToken* token) {
+  std::function<void()> resume;
+  StatusOr<std::vector<Tuple>> result = std::vector<Tuple>{};
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      // The consumer's own deadline/cancel outranks buffered rows: a fired
+      // token must surface at this Fetch, not after the buffer drains.
+      if (token != nullptr) {
+        Status s = token->Check();
+        if (!s.ok()) return s;
+      }
+      if (!rows_.empty()) {
+        std::vector<Tuple>& batch = *result;
+        const int64_t n =
+            std::min<int64_t>(max_rows, static_cast<int64_t>(rows_.size()));
+        batch.reserve(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          batch.push_back(std::move(rows_.front()));
+          rows_.pop_front();
+        }
+        if (parked_resume_ != nullptr &&
+            static_cast<int64_t>(rows_.size()) < high_water_rows_) {
+          resume = std::move(parked_resume_);
+          parked_resume_ = nullptr;
+        }
+        break;
+      }
+      if (finished_) {
+        // Buffer drained: report the terminal status (an empty OK batch is
+        // the end-of-stream marker).
+        if (!final_status_.ok()) return final_status_;
+        break;
+      }
+      consumer_cv_.wait_for(lock, kWaitTick);
+    }
+  }
+  if (resume != nullptr) resume();
+  return result;
+}
+
+void ResultSink::Drain() {
+  while (true) {
+    std::function<void()> resume;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      draining_ = true;
+      rows_.clear();
+      if (finished_) return;
+      if (parked_resume_ != nullptr) {
+        resume = std::move(parked_resume_);
+        parked_resume_ = nullptr;
+      } else {
+        consumer_cv_.wait_for(lock, kWaitTick);
+        if (finished_) return;
+      }
+    }
+    if (resume != nullptr) resume();
+  }
+}
+
+bool ResultSink::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+Status ResultSink::final_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return final_status_;
+}
+
+int64_t ResultSink::peak_queued_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queued_rows_;
+}
+
+int64_t ResultSink::total_rows_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_rows_pushed_;
+}
+
+int64_t ResultSink::producer_parks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return producer_parks_;
+}
+
+}  // namespace magicdb

@@ -1,0 +1,113 @@
+#ifndef MAGICDB_EXEC_RESULT_SINK_H_
+#define MAGICDB_EXEC_RESULT_SINK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/statusor.h"
+#include "src/types/tuple.h"
+
+namespace magicdb {
+
+/// Bounded, backpressured row queue between one query's producing pipeline
+/// and its (single) consuming cursor — the streaming replacement for
+/// materializing a full result vector. The producer is a cooperative pump
+/// task (the sequential quantum driver, or the gather drain of a parallel
+/// execution) and must never block a pool thread; the consumer is the
+/// client thread inside Cursor::Fetch.
+///
+/// Backpressure protocol (producer side):
+///   1. Before producing a batch, call ReserveOrPark(resume). If the queue
+///      is below the high-water mark it returns true — go produce. If it is
+///      full it stores `resume` and returns false — the producer must
+///      return without re-enqueueing itself (it is now *parked*: no pool
+///      thread is occupied, no CPU spins).
+///   2. Push(batch) appends the produced rows. A batch is pushed whole, so
+///      the queue may overshoot the high-water mark by up to one producer
+///      quantum — the effective bound is high_water_rows + quantum.
+///   3. Finish(status) ends the stream (end of data, error, cancellation).
+///
+/// The consumer's Fetch pops rows and, once the queue has drained below the
+/// high-water mark, re-submits a parked producer by invoking its stored
+/// resume closure (outside the lock). Parking under the same mutex as the
+/// pop makes lost wakeups impossible.
+///
+/// Thread-safe between one logical producer and one consumer; all cross-
+/// thread handoff (including the terminal-state publication the cursor
+/// relies on to read final counters) is ordered through the internal mutex.
+class ResultSink {
+ public:
+  /// `high_water_rows` is clamped up to 1.
+  explicit ResultSink(int64_t high_water_rows);
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  // ----- producer side -----
+
+  /// True: capacity available (or the stream is being drained) — produce
+  /// now. False: queue at the high-water mark; `resume` is stored for the
+  /// consumer to invoke and the producer must return without rescheduling.
+  bool ReserveOrPark(std::function<void()> resume);
+
+  /// Appends a batch and wakes the consumer. Empty batches are dropped.
+  void Push(std::vector<Tuple> batch);
+
+  /// Terminates the stream. The first call wins; `status` is what Fetch
+  /// reports after the queued rows are drained (OK = clean end of stream).
+  void Finish(Status status);
+
+  // ----- consumer side -----
+
+  /// Pops up to `max_rows` rows, blocking until at least one row is
+  /// queued, the producer finished, or `token` fires (checked every few
+  /// milliseconds; pass nullptr for an uncancellable wait). Queued rows are
+  /// delivered before a stream error is reported; a fired token is reported
+  /// immediately. An empty batch with OK status means clean end of stream.
+  StatusOr<std::vector<Tuple>> Fetch(int64_t max_rows,
+                                     const CancelToken* token);
+
+  /// Discards everything queued and keeps resuming a parked producer until
+  /// it calls Finish. Close calls this *after* cancelling the query token,
+  /// so the producer unwinds within one quantum. Blocks until finished.
+  void Drain();
+
+  /// True once Finish was called (rows may still be queued).
+  bool finished() const;
+
+  /// Terminal status; OK until Finish is called with an error.
+  Status final_status() const;
+
+  // ----- observability -----
+
+  /// Most rows ever resident in the queue at once — the number the bounded-
+  /// memory guarantee is stated against (≤ high_water_rows + one quantum).
+  int64_t peak_queued_rows() const;
+  int64_t total_rows_pushed() const;
+  /// Times the producer parked on a full queue (backpressure engagements).
+  int64_t producer_parks() const;
+  int64_t high_water_rows() const { return high_water_rows_; }
+
+ private:
+  const int64_t high_water_rows_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::deque<Tuple> rows_;
+  std::function<void()> parked_resume_;  // non-null while producer is parked
+  bool finished_ = false;
+  bool draining_ = false;
+  Status final_status_;
+  int64_t peak_queued_rows_ = 0;
+  int64_t total_rows_pushed_ = 0;
+  int64_t producer_parks_ = 0;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_RESULT_SINK_H_

@@ -141,24 +141,15 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
   return root->Close();
 }
 
-StatusOr<ParallelRunResult> RunSequential(Operator* root,
-                                          int64_t memory_budget_bytes,
-                                          std::string fallback_reason,
-                                          const CancelTokenPtr& cancel) {
-  ParallelRunResult result;
-  result.used_dop = 1;
-  result.fallback_reason = std::move(fallback_reason);
-  ExecContext ctx;
-  ctx.set_cancel_token(cancel);
-  ctx.set_memory_budget_bytes(memory_budget_bytes);
-  MAGICDB_ASSIGN_OR_RETURN(result.rows, ExecuteToVector(root, &ctx));
-  result.counters = ctx.counters();
-  if (const FilterJoinOp* fj = FindFilterJoin(*root)) {
-    result.has_filter_join = true;
-    result.filter_join_measured = fj->measured();
-    result.filter_set_size = fj->last_filter_set_size();
-  }
-  return result;
+/// Fallback outcome: nothing has executed; the caller pumps replicas[0].
+StagedStream MakeFallback(std::vector<OpPtr>* replicas,
+                          std::string fallback_reason) {
+  StagedStream staged;
+  staged.stream_root = std::move((*replicas)[0]);
+  staged.staged = false;
+  staged.used_dop = 1;
+  staged.fallback_reason = std::move(fallback_reason);
+  return staged;
 }
 
 }  // namespace
@@ -173,6 +164,40 @@ std::string ParallelExecutor::UnsafeReason(const Operator& root) {
 StatusOr<ParallelRunResult> ParallelExecutor::Run(
     std::vector<OpPtr> replicas, int64_t memory_budget_bytes,
     const ParallelRunOptions& options) {
+  MAGICDB_ASSIGN_OR_RETURN(
+      StagedStream staged,
+      RunStaged(std::move(replicas), memory_budget_bytes, options));
+  ParallelRunResult result;
+  result.used_dop = staged.used_dop;
+  result.fallback_reason = std::move(staged.fallback_reason);
+  ExecContext ctx;
+  if (!staged.staged) {
+    // Fallback: this drain IS the execution.
+    ctx.set_cancel_token(options.cancel_token);
+    ctx.set_memory_budget_bytes(memory_budget_bytes);
+  }
+  MAGICDB_ASSIGN_OR_RETURN(result.rows,
+                           ExecuteToVector(staged.stream_root.get(), &ctx));
+  if (staged.staged) {
+    MAGICDB_CHECK(ctx.counters().TotalCost() == 0.0);  // GatherOp is free
+    result.counters = staged.counters;
+    result.has_filter_join = staged.has_filter_join;
+    result.filter_join_measured = staged.filter_join_measured;
+    result.filter_set_size = staged.filter_set_size;
+  } else {
+    result.counters = ctx.counters();
+    if (const FilterJoinOp* fj = FindFilterJoin(*staged.stream_root)) {
+      result.has_filter_join = true;
+      result.filter_join_measured = fj->measured();
+      result.filter_set_size = fj->last_filter_set_size();
+    }
+  }
+  return result;
+}
+
+StatusOr<StagedStream> ParallelExecutor::RunStaged(
+    std::vector<OpPtr> replicas, int64_t memory_budget_bytes,
+    const ParallelRunOptions& options) {
   if (replicas.empty()) {
     return Status::InvalidArgument("ParallelExecutor::Run: no plan replicas");
   }
@@ -182,8 +207,7 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
     MAGICDB_RETURN_IF_ERROR(options.cancel_token->Check());
   }
   if (dop_ == 1) {
-    return RunSequential(replicas[0].get(), memory_budget_bytes, "dop=1",
-                         options.cancel_token);
+    return MakeFallback(&replicas, "dop=1");
   }
 
   // Analyze every replica; verify the trees really are isomorphic (the
@@ -192,13 +216,10 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
   std::vector<ReplicaShape> shapes(replicas.size());
   std::string reason = Analyze(replicas[0].get(), &shapes[0]);
   if (!reason.empty()) {
-    return RunSequential(replicas[0].get(), memory_budget_bytes, reason,
-                         options.cancel_token);
+    return MakeFallback(&replicas, reason);
   }
   if (static_cast<int>(replicas.size()) != dop_) {
-    return RunSequential(replicas[0].get(), memory_budget_bytes,
-                         "replica count does not match dop",
-                         options.cancel_token);
+    return MakeFallback(&replicas, "replica count does not match dop");
   }
   const std::string tree0 = replicas[0]->TreeString();
   for (size_t w = 1; w < replicas.size(); ++w) {
@@ -216,9 +237,7 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
              shapes[0].hash_inner_scans[j]->table();
     }
     if (!same) {
-      return RunSequential(replicas[0].get(), memory_budget_bytes,
-                           "plan replicas are not isomorphic",
-                           options.cancel_token);
+      return MakeFallback(&replicas, "plan replicas are not isomorphic");
     }
   }
 
@@ -291,31 +310,32 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
     if (!st.ok()) return st;
   }
 
-  ParallelRunResult result;
-  result.used_dop = dop_;
+  StagedStream staged;
+  staged.staged = true;
+  staged.used_dop = dop_;
   for (int w = 0; w < dop_; ++w) {
     contexts[w].counters().AssertNonNegative();
-    result.counters += contexts[w].counters();
+    staged.counters += contexts[w].counters();
     if (shapes[w].filter_join != nullptr) {
-      result.has_filter_join = true;
+      staged.has_filter_join = true;
       const FilterJoinMeasured& m = shapes[w].filter_join->measured();
-      result.filter_join_measured.production += m.production;
-      result.filter_join_measured.projection += m.projection;
-      result.filter_join_measured.avail_filter += m.avail_filter;
-      result.filter_join_measured.filter_inner += m.filter_inner;
-      result.filter_join_measured.final_join += m.final_join;
+      staged.filter_join_measured.production += m.production;
+      staged.filter_join_measured.projection += m.projection;
+      staged.filter_join_measured.avail_filter += m.avail_filter;
+      staged.filter_join_measured.filter_inner += m.filter_inner;
+      staged.filter_join_measured.final_join += m.final_join;
       // Only the coordinator observed the filter set; peers report 0.
-      result.filter_set_size +=
+      staged.filter_set_size +=
           shapes[w].filter_join->last_filter_set_size();
     }
   }
 
-  GatherOp gather(replicas[0]->schema(), std::move(runs));
-  ExecContext gather_ctx;  // GatherOp charges nothing
-  MAGICDB_ASSIGN_OR_RETURN(result.rows,
-                           ExecuteToVector(&gather, &gather_ctx));
-  MAGICDB_CHECK(gather_ctx.counters().TotalCost() == 0.0);
-  return result;
+  // The GatherRows own their tuples outright, so the merge outlives the
+  // replica trees it was produced by (destroyed when `replicas` goes out of
+  // scope here).
+  staged.stream_root =
+      std::make_unique<GatherOp>(replicas[0]->schema(), std::move(runs));
+  return staged;
 }
 
 }  // namespace magicdb

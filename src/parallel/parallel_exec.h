@@ -51,6 +51,30 @@ struct ParallelRunResult {
   int64_t filter_set_size = 0;
 };
 
+/// A parallel execution staged for streaming: the outcome of
+/// ParallelExecutor::RunStaged. When the gang ran (`staged` == true) the
+/// workers have already produced and rank-tagged every output row;
+/// `stream_root` is a GatherOp whose Open/Next/Close drains the
+/// deterministic merge incrementally — pumping it performs no query work
+/// and must charge nothing, and `counters`/`filter_join_*` are final. When
+/// the plan fell back (`staged` == false) nothing has executed yet:
+/// `stream_root` is the untouched first replica, and the caller's pump
+/// performs the actual execution (its ExecContext accrues the counters).
+/// Either way the caller owns `stream_root` and can feed it into a bounded
+/// ResultSink batch by batch instead of materializing a full result.
+struct StagedStream {
+  OpPtr stream_root;
+  bool staged = false;
+
+  /// Final only when `staged`; see above.
+  CostCounters counters;
+  int used_dop = 1;
+  std::string fallback_reason;
+  bool has_filter_join = false;
+  FilterJoinMeasured filter_join_measured;
+  int64_t filter_set_size = 0;
+};
+
 /// Morsel-driven parallel executor. Takes `dop` isomorphic plan replicas
 /// (the optimizer is deterministic, so optimizing the same query `dop`
 /// times yields identical trees), wires shared state into each — a
@@ -79,6 +103,14 @@ class ParallelExecutor {
   StatusOr<ParallelRunResult> Run(std::vector<OpPtr> replicas,
                                   int64_t memory_budget_bytes,
                                   const ParallelRunOptions& options = {});
+
+  /// Streaming variant: runs the worker gang to completion (or decides the
+  /// fallback without executing anything) and returns the operator the
+  /// caller pumps to deliver rows incrementally — see StagedStream. Run()
+  /// is a thin drain-to-vector wrapper over this.
+  StatusOr<StagedStream> RunStaged(std::vector<OpPtr> replicas,
+                                   int64_t memory_budget_bytes,
+                                   const ParallelRunOptions& options = {});
 
   int dop() const { return dop_; }
 

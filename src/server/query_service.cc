@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <memory>
 #include <sstream>
 #include <thread>
+#include <utility>
 
+#include "src/exec/exec_context.h"
 #include "src/parallel/parallel_exec.h"
 
 namespace magicdb {
@@ -18,66 +21,6 @@ int64_t ElapsedUs(Clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                start)
       .count();
-}
-
-/// Control block of one cooperatively scheduled sequential query. The
-/// Volcano state (root/ctx/rows/opened) is touched only by the currently
-/// running pump task; successive tasks are ordered through the pool's queue
-/// locks, so no extra synchronization is needed for it. `done`/`status` are
-/// the caller handshake, guarded by `mu`.
-struct PumpState {
-  Operator* root = nullptr;
-  ExecContext* ctx = nullptr;
-  std::vector<Tuple>* rows = nullptr;
-  int64_t quantum = 1024;
-  ThreadPool* pool = nullptr;
-  Counter* quanta = nullptr;
-
-  bool opened = false;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
-};
-
-void SubmitPump(const std::shared_ptr<PumpState>& st);
-
-/// One scheduler quantum: open on first entry, pump up to `quantum` rows,
-/// then either finish (eof/error, Close, signal the caller) or yield the
-/// worker by re-enqueueing at the back of the pool's queue so concurrently
-/// admitted queries interleave.
-void RunQuantum(const std::shared_ptr<PumpState>& st) {
-  st->quanta->Increment();
-  Status status = st->ctx->CheckCancelled();
-  bool eof = false;
-  if (status.ok() && !st->opened) {
-    status = st->root->Open(st->ctx);
-    st->opened = status.ok();
-  }
-  if (status.ok()) {
-    for (int64_t i = 0; i < st->quantum; ++i) {
-      Tuple t;
-      status = st->root->Next(&t, &eof);
-      if (!status.ok() || eof) break;
-      st->rows->push_back(std::move(t));
-    }
-  }
-  if (status.ok() && eof) {
-    status = st->root->Close();
-  }
-  if (!status.ok() || eof) {
-    std::lock_guard<std::mutex> lock(st->mu);
-    st->status = std::move(status);
-    st->done = true;
-    st->cv.notify_all();
-    return;
-  }
-  SubmitPump(st);
-}
-
-void SubmitPump(const std::shared_ptr<PumpState>& st) {
-  st->pool->Submit([st] { RunQuantum(st); });
 }
 
 /// Fallback reasons become metric label values: the plan-specific suffix
@@ -100,6 +43,35 @@ const char kFallbackMetricPrefix[] =
 
 }  // namespace
 
+/// Control block of one cursor's producing pipeline. The Volcano state
+/// (tree/ctx/opened) is touched only by the currently running pump quantum;
+/// successive quanta are ordered through the pool's queue locks (and, across
+/// a park, through the sink's mutex), so it needs no extra synchronization.
+///
+/// Two producer flavors share this code path:
+///   - sequential stream: `tree` is the live plan instance; each quantum
+///     performs real query work, so it re-validates the catalog epoch under
+///     the DDL lock and the final counters come from `ctx` at end of stream.
+///   - parallel staged stream: the worker gang already ran (inside Open,
+///     under the DDL lock); `tree` is a GatherOp draining pre-staged rows.
+///     Pumping it performs no catalog access (the plan is effectively
+///     pinned across DDL) and charges nothing — `counters_preset` marks
+///     that the cursor's final counters were fixed at Open time.
+struct StreamProducer {
+  std::shared_ptr<CursorState> cursor;
+  OpPtr tree;
+  ExecContext ctx;
+  bool opened = false;
+  /// Final counters/FilterJoin phases were stored in the cursor at Open
+  /// (parallel staged execution); FinishProducer must not overwrite them.
+  bool counters_preset = false;
+  /// Re-check the catalog DDL epoch every quantum (sequential streams);
+  /// a mismatch fails the stream with FailedPrecondition.
+  bool check_epoch = false;
+  /// Return `tree` to the plan cache on clean end of stream.
+  bool check_in = false;
+};
+
 std::string ServiceStats::ToString() const {
   std::ostringstream os;
   os << "pool_threads=" << pool_threads << " submitted=" << queries_submitted
@@ -111,6 +83,10 @@ std::string ServiceStats::ToString() const {
      << " instance_reuses=" << plan_instance_reuses
      << " sched_quanta=" << sched_quanta
      << " morsels_stolen=" << morsels_stolen << " ddl_epoch=" << ddl_epoch
+     << " cursors_opened=" << cursors_opened
+     << " open_cursors=" << open_cursors << " rows_streamed=" << rows_streamed
+     << " producer_parks=" << cursor_producer_parks
+     << " cursors_stale=" << cursors_stale
      << " parallel_fallbacks=" << parallel_fallbacks;
   for (const auto& [reason, count] : parallel_fallback_reasons) {
     os << " fallback[" << reason << "]=" << count;
@@ -135,6 +111,9 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   if (options_.scheduler_quantum_rows <= 0) {
     options_.scheduler_quantum_rows = 1024;
   }
+  if (options_.stream_queue_rows <= 0) {
+    options_.stream_queue_rows = 8192;
+  }
 
   queries_submitted_ =
       metrics_.counter("magicdb_server_queries_submitted_total");
@@ -155,8 +134,16 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   morsels_stolen_ = metrics_.counter("magicdb_server_morsels_stolen_total");
   parallel_fallbacks_ =
       metrics_.counter("magicdb_server_parallel_fallbacks_total");
+  cursors_opened_ = metrics_.counter("magicdb_server_cursors_opened_total");
+  open_cursors_ = metrics_.counter("magicdb_server_open_cursors");
+  rows_streamed_ = metrics_.counter("magicdb_server_rows_streamed_total");
+  cursor_parks_ =
+      metrics_.counter("magicdb_server_cursor_producer_parks_total");
+  cursors_stale_ = metrics_.counter("magicdb_server_cursors_stale_total");
   admission_wait_us_ = metrics_.histogram("magicdb_server_admission_wait_us");
   query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
+  cursor_batch_wait_us_ =
+      metrics_.histogram("magicdb_server_cursor_batch_wait_us");
 }
 
 QueryService::~QueryService() {
@@ -230,40 +217,109 @@ Status QueryService::Admit(int gang_slots, const CancelToken* token) {
   return Status::OK();
 }
 
-void QueryService::Release(int gang_slots) {
+void QueryService::ReleaseGangSlots(int gang_slots) {
+  if (gang_slots == 0) return;
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
-    active_queries_ -= 1;
     used_gang_slots_ -= gang_slots;
   }
   admit_cv_.notify_all();
 }
 
-Status QueryService::RunCooperative(Operator* root, ExecContext* ctx,
-                                    std::vector<Tuple>* rows) {
-  auto st = std::make_shared<PumpState>();
-  st->root = root;
-  st->ctx = ctx;
-  st->rows = rows;
-  st->quantum = options_.scheduler_quantum_rows;
-  st->pool = pool_.get();
-  st->quanta = sched_quanta_;
-  SubmitPump(st);
-  std::unique_lock<std::mutex> lock(st->mu);
-  st->cv.wait(lock, [&] { return st->done; });
-  return st->status;
+void QueryService::ReleaseTicket() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    active_queries_ -= 1;
+  }
+  admit_cv_.notify_all();
 }
 
-StatusOr<QueryResult> QueryService::Query(Session* session,
-                                          const std::string& sql,
-                                          const ExecOptions& exec) {
+void QueryService::SubmitProducer(const std::shared_ptr<StreamProducer>& p) {
+  pool_->Submit([this, p] { PumpQuantum(p); });
+}
+
+void QueryService::PumpQuantum(const std::shared_ptr<StreamProducer>& p) {
+  CursorState* c = p->cursor.get();
+  // Backpressure before anything else: on a full queue the producer parks —
+  // stores its resume closure in the sink and returns the worker without
+  // rescheduling. The consumer's Fetch re-submits it after draining below
+  // the high-water mark.
+  if (!c->sink.ReserveOrPark([this, p] { SubmitProducer(p); })) {
+    cursor_parks_->Increment();
+    return;
+  }
+  sched_quanta_->Increment();
+  Status status = c->token->Check();
+  bool eof = false;
+  std::vector<Tuple> batch;
+  if (status.ok()) {
+    // A quantum — not the whole query — is the DDL read-side critical
+    // section; that is what lets DDL run while cursors sit open. The epoch
+    // check turns a catalog change under a live sequential stream into a
+    // clean stale-plan error instead of reads from replaced objects.
+    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+    if (p->check_epoch && db_->catalog()->ddl_epoch() != c->plan_epoch) {
+      cursors_stale_->Increment();
+      status = Status::FailedPrecondition(
+          "plan invalidated by DDL: catalog changed while cursor was open");
+    }
+    if (status.ok() && !p->opened) {
+      status = p->tree->Open(&p->ctx);
+      p->opened = status.ok();
+    }
+    if (status.ok()) {
+      for (int64_t i = 0; i < options_.scheduler_quantum_rows; ++i) {
+        Tuple t;
+        status = p->tree->Next(&t, &eof);
+        if (!status.ok() || eof) break;
+        batch.push_back(std::move(t));
+      }
+    }
+    if (status.ok() && eof) {
+      status = p->tree->Close();
+    }
+  }
+  if (!batch.empty()) {
+    c->sink.Push(std::move(batch));
+  }
+  if (!status.ok() || eof) {
+    FinishProducer(p, std::move(status));
+    return;
+  }
+  // Yield: re-enqueue at the back of the pool's queue so concurrently
+  // admitted queries interleave at quantum granularity.
+  SubmitProducer(p);
+}
+
+void QueryService::FinishProducer(const std::shared_ptr<StreamProducer>& p,
+                                  Status status) {
+  CursorState* c = p->cursor.get();
+  if (!p->counters_preset) {
+    c->final_counters = p->ctx.counters();
+    c->filter_join_measured.clear();
+    CollectFilterJoinMeasured(*p->tree, &c->filter_join_measured);
+  }
+  if (status.ok() && p->check_in && !c->cache_key.empty()) {
+    // The tree fully re-initializes in Open(), so it can serve the next
+    // execution of the same statement. CheckIn refuses stale epochs.
+    plan_cache_.CheckIn(c->cache_key, c->plan_epoch, std::move(p->tree));
+  }
+  // Finish last: it publishes the terminal state (counters included — the
+  // sink's mutex orders the handoff) to the consumer.
+  c->sink.Finish(std::move(status));
+}
+
+StatusOr<Cursor> QueryService::Open(Session* session, const std::string& sql,
+                                    const ExecOptions& exec) {
   queries_submitted_->Increment();
   const Clock::time_point start = Clock::now();
 
+  // A cursor always carries a token: Close() cancels it to unwind any
+  // remaining production. Zero timeout = no deadline; negative expires
+  // immediately (SetTimeout semantics).
   CancelTokenPtr token = exec.cancel_token;
-  // Zero = no deadline; negative expires immediately (SetTimeout semantics).
+  if (token == nullptr) token = std::make_shared<CancelToken>();
   if (exec.timeout.count() != 0) {
-    if (token == nullptr) token = std::make_shared<CancelToken>();
     token->SetTimeout(
         std::chrono::duration_cast<std::chrono::nanoseconds>(exec.timeout));
   }
@@ -271,7 +327,6 @@ StatusOr<QueryResult> QueryService::Query(Session* session,
   const int effective_dop = std::clamp(exec.dop, 1, pool_->size());
   const int gang_slots = effective_dop > 1 ? effective_dop : 0;
 
-  Status admitted = Admit(gang_slots, token.get());
   auto classify_failure = [&](const Status& s) {
     if (s.code() == StatusCode::kCancelled) {
       queries_cancelled_->Increment();
@@ -281,126 +336,289 @@ StatusOr<QueryResult> QueryService::Query(Session* session,
     queries_failed_->Increment();
     query_latency_us_->Observe(ElapsedUs(start));
   };
+
+  Status admitted = Admit(gang_slots, token.get());
   if (!admitted.ok()) {
     classify_failure(admitted);
     return admitted;
   }
   queries_admitted_->Increment();
 
-  StatusOr<QueryResult> result = [&] {
-    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
-    return QueryAdmitted(session, sql, exec, token, effective_dop);
-  }();
-  Release(gang_slots);
-
-  if (!result.ok()) {
-    classify_failure(result.status());
-    return result;
+  StatusOr<Cursor> cursor =
+      OpenAdmitted(session, sql, exec, token, effective_dop, gang_slots);
+  if (!cursor.ok()) {
+    ReleaseTicket();
+    classify_failure(cursor.status());
+    return cursor;
   }
-  queries_completed_->Increment();
-  query_latency_us_->Observe(ElapsedUs(start));
+  cursor->state_->start_time = start;
+  cursors_opened_->Increment();
+  open_cursors_->Add(1);
+  return cursor;
+}
+
+StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
+                                            const std::string& sql,
+                                            const ExecOptions& exec,
+                                            const CancelTokenPtr& token,
+                                            int effective_dop,
+                                            int gang_slots) {
+  StatusOr<Cursor> result = [&]() -> StatusOr<Cursor> {
+    // Planning and the parallel worker gang run under the shared DDL lock;
+    // by the time rows stream out, a parallel execution's staged result is
+    // already catalog-consistent (its plan is pinned), while a sequential
+    // stream re-validates the epoch every quantum.
+    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+
+    const OptimizerOptions& opts = session->options();
+    const int64_t epoch = db_->catalog()->ddl_epoch();
+    const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql;
+
+    CachedPlanMeta meta;
+    OpPtr instance;
+    // Parallel queries never reuse pooled instances (they need fresh
+    // replicas for shared-state wiring), so leave the pool untouched for
+    // them.
+    const bool want_instance = effective_dop == 1;
+    const bool hit = plan_cache_.Lookup(key, epoch, &meta,
+                                        want_instance ? &instance : nullptr);
+    if (hit) {
+      plan_cache_hits_->Increment();
+    } else {
+      plan_cache_misses_->Increment();
+      MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                               db_->PlanSelect(sql, opts));
+      meta.bound = planned.bound;
+      meta.schema = planned.schema;
+      meta.explain = planned.explain;
+      meta.est_cost = planned.est_cost;
+      meta.est_rows = planned.est_rows;
+      meta.filter_joins = planned.filter_joins;
+      meta.optimizer_stats = planned.optimizer_stats;
+      plan_cache_.Insert(key, epoch, meta);
+      if (want_instance) instance = std::move(planned.root);
+    }
+
+    const int64_t high_water = exec.stream_queue_rows > 0
+                                   ? exec.stream_queue_rows
+                                   : options_.stream_queue_rows;
+    auto state = std::make_shared<CursorState>(this, high_water);
+    state->token = token;
+    state->plan_epoch = epoch;
+    state->cache_key = key;
+    state->schema = meta.schema;
+    state->explain = meta.explain;
+    state->est_cost = meta.est_cost;
+    state->est_rows = meta.est_rows;
+    state->filter_joins = meta.filter_joins;
+    state->optimizer_stats = meta.optimizer_stats;
+
+    const bool has_limit = meta.bound.limit >= 0;
+
+    auto producer = std::make_shared<StreamProducer>();
+    producer->cursor = state;
+    producer->ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
+    producer->ctx.set_cancel_token(token);
+
+    if (effective_dop > 1) {
+      // Mirror Database::ExecuteParallel on the shared pool: plan
+      // isomorphic replicas from the cached bound plan (skipping
+      // parse+bind on hits), run the gang to completion, and stream the
+      // deterministic gather merge out of the staged runs.
+      std::vector<OpPtr> replicas;
+      MAGICDB_ASSIGN_OR_RETURN(PlannedSelect first,
+                               db_->PlanBound(meta.bound, opts));
+      replicas.push_back(std::move(first.root));
+      if (!has_limit &&
+          ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
+        for (int w = 1; w < effective_dop; ++w) {
+          MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
+                                   db_->PlanBound(meta.bound, opts));
+          replicas.push_back(std::move(replica.root));
+        }
+      }
+      ParallelExecutor executor(has_limit ? 1 : effective_dop);
+      ParallelRunOptions run_options;
+      run_options.shared_pool = pool_.get();
+      run_options.cancel_token = token;
+      MAGICDB_ASSIGN_OR_RETURN(
+          StagedStream staged,
+          executor.RunStaged(std::move(replicas), opts.memory_budget_bytes,
+                             run_options));
+      producer->tree = std::move(staged.stream_root);
+      if (staged.staged) {
+        // Gang already ran; the gather drain performs no query work, so
+        // the counters are final now and DDL can no longer stale the plan.
+        state->used_dop = staged.used_dop;
+        state->final_counters = staged.counters;
+        if (staged.has_filter_join) {
+          state->filter_join_measured.push_back(staged.filter_join_measured);
+        }
+        producer->counters_preset = true;
+      } else {
+        state->used_dop = 1;
+        state->parallel_fallback_reason =
+            has_limit ? "LIMIT clause" : std::move(staged.fallback_reason);
+        producer->check_epoch = true;
+      }
+      if (state->used_dop < effective_dop) {
+        RecordParallelFallback(state->parallel_fallback_reason);
+      }
+      SubmitProducer(producer);
+      return Cursor(state);
+    }
+
+    // Sequential path: reuse a pooled instance when one was available,
+    // otherwise instantiate from the cached bound plan.
+    if (instance != nullptr) {
+      if (hit) plan_instance_reuses_->Increment();
+    } else {
+      MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
+                               db_->PlanBound(meta.bound, opts));
+      instance = std::move(planned.root);
+    }
+    producer->tree = std::move(instance);
+    producer->check_epoch = true;
+    producer->check_in = true;
+    state->used_dop = 1;
+    SubmitProducer(producer);
+    return Cursor(state);
+  }();
+  // The gang (if any) has finished by now either way; only the admission
+  // ticket stays held for the cursor's lifetime.
+  ReleaseGangSlots(gang_slots);
   return result;
 }
 
-StatusOr<QueryResult> QueryService::QueryAdmitted(Session* session,
-                                                  const std::string& sql,
-                                                  const ExecOptions& exec,
-                                                  const CancelTokenPtr& token,
-                                                  int effective_dop) {
-  const OptimizerOptions& opts = session->options();
-  const int64_t epoch = db_->catalog()->ddl_epoch();
-  const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql;
-
-  CachedPlanMeta meta;
-  OpPtr instance;
-  // Parallel queries never reuse pooled instances (they need fresh replicas
-  // for shared-state wiring), so leave the pool untouched for them.
-  const bool want_instance = effective_dop == 1;
-  const bool hit = plan_cache_.Lookup(key, epoch, &meta,
-                                      want_instance ? &instance : nullptr);
-  if (hit) {
-    plan_cache_hits_->Increment();
-  } else {
-    plan_cache_misses_->Increment();
-    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned, db_->PlanSelect(sql, opts));
-    meta.bound = planned.bound;
-    meta.schema = planned.schema;
-    meta.explain = planned.explain;
-    meta.est_cost = planned.est_cost;
-    meta.est_rows = planned.est_rows;
-    meta.filter_joins = planned.filter_joins;
-    meta.optimizer_stats = planned.optimizer_stats;
-    plan_cache_.Insert(key, epoch, meta);
-    if (want_instance) instance = std::move(planned.root);
+StatusOr<std::vector<Tuple>> QueryService::FetchFromCursor(
+    CursorState* cursor, int64_t max_rows) {
+  if (cursor->closed) {
+    return Status::InvalidArgument("Fetch on a closed cursor");
   }
+  if (max_rows <= 0) {
+    return Status::InvalidArgument("Fetch max_rows must be positive");
+  }
+  if (cursor->saw_eof) {
+    return std::vector<Tuple>{};  // idempotent end-of-stream marker
+  }
+  const Clock::time_point start = Clock::now();
+  StatusOr<std::vector<Tuple>> batch =
+      cursor->sink.Fetch(max_rows, cursor->token.get());
+  cursor_batch_wait_us_->Observe(ElapsedUs(start));
+  if (!batch.ok()) return batch;
+  rows_streamed_->Add(static_cast<int64_t>(batch->size()));
+  if (batch->empty()) cursor->saw_eof = true;
+  return batch;
+}
+
+Status QueryService::CloseCursor(CursorState* cursor) {
+  if (cursor->closed) return cursor->terminal_status;
+  cursor->closed = true;
+
+  // Read the token before (possibly) cancelling it ourselves, so a
+  // deadline that fired mid-stream is classified as such.
+  const Status token_state = cursor->token->Check();
+  if (!cursor->saw_eof) {
+    // Closed before end of stream: unwind remaining production. A fully
+    // consumed cursor leaves the token alone — it may be externally owned
+    // and shared with a follow-up query.
+    cursor->token->Cancel();
+  }
+  cursor->sink.Drain();
+
+  // Terminal classification, exactly once per cursor.
+  const Status final = cursor->sink.final_status();
+  Status terminal;
+  if (cursor->saw_eof && final.ok()) {
+    queries_completed_->Increment();
+    terminal = Status::OK();
+  } else if (!final.ok()) {
+    if (final.code() == StatusCode::kCancelled) {
+      queries_cancelled_->Increment();
+    } else if (final.code() == StatusCode::kDeadlineExceeded) {
+      deadlines_exceeded_->Increment();
+    }
+    queries_failed_->Increment();
+    terminal = final;
+  } else {
+    // Producer ended cleanly but the consumer walked away early.
+    if (token_state.code() == StatusCode::kDeadlineExceeded) {
+      deadlines_exceeded_->Increment();
+    } else {
+      queries_cancelled_->Increment();
+    }
+    queries_failed_->Increment();
+    terminal = token_state.ok()
+                   ? Status::Cancelled("cursor closed before end of stream")
+                   : token_state;
+  }
+  cursor->terminal_status = terminal;
+  query_latency_us_->Observe(ElapsedUs(cursor->start_time));
+  open_cursors_->Add(-1);
+  ReleaseTicket();
+  return terminal;
+}
+
+StatusOr<QueryResult> QueryService::Query(Session* session,
+                                          const std::string& sql,
+                                          const ExecOptions& exec) {
+  StatusOr<QueryResult> result = QueryViaCursor(session, sql, exec);
+  // Concurrent DDL between production quanta stales a sequential stream
+  // (FailedPrecondition). An explicit cursor hands that error to its
+  // consumer, but the fetch-all wrapper has delivered nothing yet, so it
+  // keeps Query's pre-streaming contract — unrelated DDL never fails a
+  // query — by replanning at the fresh epoch and restarting. Each retry
+  // requires another DDL to land inside the retried execution, so a small
+  // bound suffices.
+  for (int retry = 0;
+       retry < 10 &&
+       result.status().code() == StatusCode::kFailedPrecondition;
+       ++retry) {
+    result = QueryViaCursor(session, sql, exec);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryService::QueryViaCursor(Session* session,
+                                                   const std::string& sql,
+                                                   const ExecOptions& exec) {
+  MAGICDB_ASSIGN_OR_RETURN(Cursor cursor, Open(session, sql, exec));
 
   QueryResult result;
-  result.schema = meta.schema;
-  result.explain = meta.explain;
-  result.est_cost = meta.est_cost;
-  result.est_rows = meta.est_rows;
-  result.filter_joins = meta.filter_joins;
-  result.optimizer_stats = meta.optimizer_stats;
+  result.schema = cursor.schema();
+  result.explain = cursor.explain();
+  result.est_cost = cursor.est_cost();
+  result.est_rows = cursor.est_rows();
+  result.filter_joins = cursor.filter_joins();
+  result.optimizer_stats = cursor.optimizer_stats();
 
-  const bool has_limit = meta.bound.limit >= 0;
-
-  if (effective_dop > 1) {
-    // Mirror Database::ExecuteParallel on the shared pool: plan isomorphic
-    // replicas from the cached bound plan (skipping parse+bind on hits).
-    std::vector<OpPtr> replicas;
-    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect first, db_->PlanBound(meta.bound,
-                                                                 opts));
-    replicas.push_back(std::move(first.root));
-    if (!has_limit &&
-        ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
-      for (int w = 1; w < effective_dop; ++w) {
-        MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
-                                 db_->PlanBound(meta.bound, opts));
-        replicas.push_back(std::move(replica.root));
-      }
+  // Fetch-all loop: one high-water mark's worth per call keeps the
+  // producer's park/resume cycle amortized.
+  const int64_t batch_rows =
+      exec.stream_queue_rows > 0 ? exec.stream_queue_rows
+                                 : options_.stream_queue_rows;
+  while (true) {
+    StatusOr<std::vector<Tuple>> batch = cursor.Fetch(batch_rows);
+    if (!batch.ok()) {
+      cursor.Close();  // classifies the failure; Close status is the same
+      return batch.status();
     }
-    ParallelExecutor executor(has_limit ? 1 : effective_dop);
-    ParallelRunOptions run_options;
-    run_options.shared_pool = pool_.get();
-    run_options.cancel_token = token;
-    MAGICDB_ASSIGN_OR_RETURN(
-        ParallelRunResult run,
-        executor.Run(std::move(replicas), opts.memory_budget_bytes,
-                     run_options));
-    result.rows = std::move(run.rows);
-    result.counters = run.counters;
-    result.used_dop = run.used_dop;
-    result.parallel_fallback_reason =
-        has_limit ? "LIMIT clause" : std::move(run.fallback_reason);
-    if (result.used_dop < effective_dop) {
-      RecordParallelFallback(result.parallel_fallback_reason);
+    if (batch->empty()) break;
+    if (result.rows.empty()) {
+      result.rows = std::move(*batch);
+    } else {
+      result.rows.insert(result.rows.end(),
+                         std::make_move_iterator(batch->begin()),
+                         std::make_move_iterator(batch->end()));
     }
-    if (run.has_filter_join) {
-      result.filter_join_measured.push_back(run.filter_join_measured);
-    }
-    return result;
   }
 
-  // Sequential path: reuse a pooled instance when one was available,
-  // otherwise instantiate from the cached bound plan.
-  if (instance != nullptr) {
-    if (hit) plan_instance_reuses_->Increment();
-  } else {
-    MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
-                             db_->PlanBound(meta.bound, opts));
-    instance = std::move(planned.root);
-  }
-
-  ExecContext ctx;
-  ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
-  ctx.set_cancel_token(token);
-  MAGICDB_RETURN_IF_ERROR(RunCooperative(instance.get(), &ctx, &result.rows));
-  result.counters = ctx.counters();
-  result.used_dop = 1;
-  CollectFilterJoinMeasured(*instance, &result.filter_join_measured);
-  // The tree fully re-initializes in Open(), so it can serve the next
-  // execution of the same statement.
-  plan_cache_.CheckIn(key, epoch, std::move(instance));
+  // End of stream: the producer has published its terminal state.
+  result.counters = cursor.counters();
+  result.used_dop = cursor.used_dop();
+  result.parallel_fallback_reason = cursor.parallel_fallback_reason();
+  result.filter_join_measured = cursor.filter_join_measured();
+  MAGICDB_RETURN_IF_ERROR(cursor.Close());
   return result;
 }
 
@@ -427,6 +645,11 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.sched_quanta = sched_quanta_->Value();
   s.morsels_stolen = morsels_stolen_->Value();
   s.ddl_epoch = db_->catalog()->ddl_epoch();
+  s.cursors_opened = cursors_opened_->Value();
+  s.open_cursors = open_cursors_->Value();
+  s.rows_streamed = rows_streamed_->Value();
+  s.cursor_producer_parks = cursor_parks_->Value();
+  s.cursors_stale = cursors_stale_->Value();
   s.parallel_fallbacks = parallel_fallbacks_->Value();
   const std::string prefix = kFallbackMetricPrefix;
   for (const auto& [name, value] : metrics_.CounterValues()) {
@@ -442,6 +665,8 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.query_latency_us_p50 = query_latency_us_->Quantile(0.50);
   s.query_latency_us_p95 = query_latency_us_->Quantile(0.95);
   s.query_latency_us_p99 = query_latency_us_->Quantile(0.99);
+  s.cursor_batch_wait_us_p50 = cursor_batch_wait_us_->Quantile(0.50);
+  s.cursor_batch_wait_us_p95 = cursor_batch_wait_us_->Quantile(0.95);
   return s;
 }
 

@@ -17,10 +17,15 @@
 #include "src/common/statusor.h"
 #include "src/db/database.h"
 #include "src/parallel/thread_pool.h"
+#include "src/server/cursor.h"
 #include "src/server/plan_cache.h"
 #include "src/server/session.h"
 
 namespace magicdb {
+
+/// Control block of one cursor's producing pipeline (defined in the .cc);
+/// successive pump quanta on the shared pool hand it to each other.
+struct StreamProducer;
 
 /// Construction-time knobs of a QueryService.
 struct QueryServiceOptions {
@@ -28,7 +33,8 @@ struct QueryServiceOptions {
   int pool_threads = 0;
 
   /// Admission tickets: queries running or executing concurrently (queued
-  /// submitters beyond this wait FIFO). 0 = 2 * pool_threads.
+  /// submitters beyond this wait FIFO). An open cursor holds its ticket
+  /// until closed. 0 = 2 * pool_threads.
   int max_concurrent_queries = 0;
 
   /// Plan-cache capacity (distinct (options, sql) keys) and how many idle
@@ -36,10 +42,17 @@ struct QueryServiceOptions {
   size_t plan_cache_entries = 128;
   size_t plan_cache_instances_per_entry = 8;
 
-  /// Rows a sequential query pumps per scheduler quantum before yielding
+  /// Rows a producing pipeline pumps per scheduler quantum before yielding
   /// its pool worker to the next queued task (the fair-interleaving knob;
   /// roughly a quarter of MorselSource::kDefaultMorselRows by default).
   int64_t scheduler_quantum_rows = 1024;
+
+  /// Default high-water mark (rows) of a cursor's result queue: once this
+  /// many rows are buffered unfetched, the producer is parked until the
+  /// consumer drains below the mark. Peak buffered rows are bounded by
+  /// this plus one scheduler quantum. Per-query override:
+  /// ExecOptions::stream_queue_rows.
+  int64_t stream_queue_rows = 8192;
 };
 
 /// Point-in-time view of the service counters (see also MetricsText()).
@@ -57,6 +70,14 @@ struct ServiceStats {
   int64_t sched_quanta = 0;
   int64_t morsels_stolen = 0;
   int64_t ddl_epoch = 0;
+  /// Streaming-cursor series: cursors ever opened, cursors open right now,
+  /// rows delivered through Fetch, producer suspensions on a full result
+  /// queue, and cursors that failed because DDL staled their plan.
+  int64_t cursors_opened = 0;
+  int64_t open_cursors = 0;
+  int64_t rows_streamed = 0;
+  int64_t cursor_producer_parks = 0;
+  int64_t cursors_stale = 0;
   /// Parallel queries (requested dop > 1) that ran sequentially, total and
   /// broken down by sanitized fallback reason — a sequential regression
   /// shows up here instead of silently shifting latencies.
@@ -67,6 +88,8 @@ struct ServiceStats {
   double query_latency_us_p50 = 0.0;
   double query_latency_us_p95 = 0.0;
   double query_latency_us_p99 = 0.0;
+  double cursor_batch_wait_us_p50 = 0.0;
+  double cursor_batch_wait_us_p95 = 0.0;
 
   std::string ToString() const;
 };
@@ -81,24 +104,31 @@ struct ServiceStats {
 ///     parallel workers at or below the pool size — the invariant that
 ///     makes barrier-synchronized gangs deadlock-free on a shared pool
 ///     (ThreadPool::RunGang).
-///   - Fair scheduling: sequential queries execute as cooperative tasks
-///     that pump `scheduler_quantum_rows` rows and then re-enqueue
-///     themselves, so concurrently admitted queries interleave at morsel
-///     granularity instead of monopolizing a worker.
+///   - Streaming result delivery: Open() returns a Cursor whose Fetch(n)
+///     pulls batches incrementally. Producing pipelines run as cooperative
+///     quantum tasks that push into a bounded ResultSink and park on its
+///     high-water mark, so result memory is bounded by the queue (not the
+///     result cardinality) and a slow consumer suspends — never blocks —
+///     pool workers. Query() is a fetch-all wrapper over the same path.
+///   - Fair scheduling: producers pump `scheduler_quantum_rows` rows per
+///     quantum and re-enqueue themselves, so concurrently admitted queries
+///     interleave at morsel granularity instead of monopolizing a worker.
 ///   - SQL-keyed plan cache (per-options fingerprint) invalidated by the
 ///     catalog DDL epoch; hits skip parse/bind/optimize entirely when an
 ///     idle physical instance is pooled.
 ///   - Per-query deadlines and cooperative cancellation threaded through
-///     every operator checkpoint.
+///     every operator checkpoint and every cursor Fetch; cursor close =
+///     cancel + drain, so abandoned consumers free pool resources.
 ///
 /// Results are byte-identical to Database::Query() under the same session
-/// options, and merged CostCounters stay exact under concurrency (each
-/// query gets private contexts; the single-writer counter contract is
-/// untouched).
+/// options — concatenating a cursor's fetched batches reproduces the exact
+/// rows, order, and merged CostCounters at any DoP.
 ///
 /// The service takes over the database for its lifetime: run DDL/loads
-/// through Execute()/LoadRows() (serialized against queries); do not call
-/// the Database directly while service queries are in flight.
+/// through Execute()/LoadRows() (serialized against queries; a sequential
+/// cursor still producing when DDL lands fails its next Fetch with
+/// FailedPrecondition instead of reading replaced catalog objects). Close
+/// every cursor before destroying the service.
 class QueryService {
  public:
   explicit QueryService(Database* db, const QueryServiceOptions& options = {});
@@ -119,7 +149,14 @@ class QueryService {
   /// the epoch: fresh statistics may change plan choice.
   Status LoadRows(const std::string& table, std::vector<Tuple> rows);
 
-  /// Full service path for one SELECT; Session::Query forwards here.
+  /// Opens a streaming cursor for one SELECT; Session::Open forwards here.
+  /// Admission, planning, and (for dop > 1) the parallel gang all happen
+  /// before this returns; rows are then pulled with Cursor::Fetch.
+  StatusOr<Cursor> Open(Session* session, const std::string& sql,
+                        const ExecOptions& exec = {});
+
+  /// Fetch-all convenience over Open(): opens a cursor, drains it, and
+  /// assembles the classic QueryResult. Session::Query forwards here.
   StatusOr<QueryResult> Query(Session* session, const std::string& sql,
                               const ExecOptions& exec = {});
 
@@ -140,23 +177,46 @@ class QueryService {
   int pool_threads() const { return pool_->size(); }
 
  private:
+  friend class Cursor;
+
   /// Blocking FIFO admission. `gang_slots` is 0 for sequential queries and
   /// the effective dop for parallel ones. Returns non-OK when `token`
   /// fires while queued; records the wait in the admission histogram.
   Status Admit(int gang_slots, const CancelToken* token);
-  void Release(int gang_slots);
+  /// Gang slots are released as soon as the worker gang finishes (inside
+  /// Open); the admission ticket is held until the cursor closes.
+  void ReleaseGangSlots(int gang_slots);
+  void ReleaseTicket();
 
-  /// Runs `root` to completion as cooperative quantum tasks on the shared
-  /// pool, filling `rows`. Returns the pipeline status (including
-  /// cancellation); Close() runs on success.
-  Status RunCooperative(Operator* root, ExecContext* ctx,
-                        std::vector<Tuple>* rows);
+  /// Plans the query and starts its producer; always releases `gang_slots`
+  /// before returning (the gang, if any, has finished by then). On success
+  /// the returned cursor owns the admission ticket.
+  StatusOr<Cursor> OpenAdmitted(Session* session, const std::string& sql,
+                                const ExecOptions& exec,
+                                const CancelTokenPtr& token,
+                                int effective_dop, int gang_slots);
 
-  StatusOr<QueryResult> QueryAdmitted(Session* session,
-                                      const std::string& sql,
-                                      const ExecOptions& exec,
-                                      const CancelTokenPtr& token,
-                                      int effective_dop);
+  /// One cooperative scheduler quantum of a cursor's producer: park on a
+  /// full sink, re-check cancellation and the catalog epoch, pump up to
+  /// `scheduler_quantum_rows` rows into the sink, then yield (re-enqueue)
+  /// or finish the stream.
+  void PumpQuantum(const std::shared_ptr<StreamProducer>& p);
+  void SubmitProducer(const std::shared_ptr<StreamProducer>& p);
+  void FinishProducer(const std::shared_ptr<StreamProducer>& p,
+                      Status status);
+
+  // Cursor plumbing (called through the Cursor handle).
+  StatusOr<std::vector<Tuple>> FetchFromCursor(CursorState* cursor,
+                                               int64_t max_rows);
+  Status CloseCursor(CursorState* cursor);
+
+  /// One open -> fetch-all -> close pass; Query() retries it when DDL
+  /// stales the stream mid-drain (an explicit Cursor surfaces that error
+  /// to its caller instead — only the wrapper, which has delivered nothing
+  /// yet, may restart transparently).
+  StatusOr<QueryResult> QueryViaCursor(Session* session,
+                                       const std::string& sql,
+                                       const ExecOptions& exec);
 
   /// Counts one parallel-requested query that fell back to sequential:
   /// bumps the total plus a per-reason counter
@@ -168,7 +228,9 @@ class QueryService {
   std::unique_ptr<ThreadPool> pool_;
   PlanCache plan_cache_;
 
-  /// Queries hold this shared; DDL/loads hold it exclusive.
+  /// DDL/loads hold this exclusive; planning and every producer quantum
+  /// hold it shared (a quantum, not a query, is the read-side critical
+  /// section — that is what lets DDL run while cursors are open).
   std::shared_mutex ddl_mu_;
 
   // Admission state.
@@ -195,8 +257,14 @@ class QueryService {
   Counter* sched_quanta_;
   Counter* morsels_stolen_;
   Counter* parallel_fallbacks_;
+  Counter* cursors_opened_;
+  Counter* open_cursors_;  // gauge: +1 at Open, -1 at Close
+  Counter* rows_streamed_;
+  Counter* cursor_parks_;
+  Counter* cursors_stale_;
   LatencyHistogram* admission_wait_us_;
   LatencyHistogram* query_latency_us_;
+  LatencyHistogram* cursor_batch_wait_us_;
 };
 
 }  // namespace magicdb

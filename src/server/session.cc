@@ -14,6 +14,25 @@ StatusOr<QueryResult> Session::Query(const std::string& sql,
   return service_->Query(this, sql, exec);
 }
 
+StatusOr<Cursor> Session::Open(const std::string& sql,
+                               const ExecOptions& exec) {
+  return service_->Open(this, sql, exec);
+}
+
+StatusOr<Cursor> Session::OpenPrepared(const std::string& name,
+                                       const ExecOptions& exec) {
+  std::string sql;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::InvalidArgument("no prepared statement named: " + name);
+    }
+    sql = it->second;
+  }
+  return service_->Open(this, sql, exec);
+}
+
 Status Session::Prepare(const std::string& name, const std::string& sql) {
   // Validate eagerly so a typo fails at Prepare time, not on first execute.
   MAGICDB_RETURN_IF_ERROR(service_->ValidateSelect(sql));

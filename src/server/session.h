@@ -12,6 +12,7 @@
 #include "src/common/statusor.h"
 #include "src/db/database.h"
 #include "src/optimizer/optimizer_options.h"
+#include "src/server/cursor.h"
 
 namespace magicdb {
 
@@ -35,6 +36,11 @@ struct ExecOptions {
   /// from another thread. When null and a timeout is set, the service
   /// creates an internal token.
   CancelTokenPtr cancel_token;
+
+  /// High-water mark (rows) of this query's streaming result queue; the
+  /// producer parks once this many rows are buffered unfetched. 0 = the
+  /// service default (QueryServiceOptions::stream_queue_rows).
+  int64_t stream_queue_rows = 0;
 };
 
 /// One client's connection to a QueryService: per-session optimizer
@@ -62,9 +68,22 @@ class Session {
   OptimizerOptions* mutable_options() { return &options_; }
 
   /// Runs a SELECT through the service (admission -> plan cache ->
-  /// shared-pool execution).
+  /// shared-pool execution) and materializes the full result. Implemented
+  /// as a fetch-all loop over Open() — large results are better consumed
+  /// through a cursor directly.
   StatusOr<QueryResult> Query(const std::string& sql,
                               const ExecOptions& exec = {});
+
+  /// Opens a streaming cursor for a SELECT: rows arrive incrementally
+  /// through Cursor::Fetch from a bounded, backpressured queue instead of
+  /// one materialized vector. The query stays admitted until the cursor is
+  /// closed (or destroyed). Concatenating all fetched batches yields
+  /// exactly what Query() returns for the same statement and options.
+  StatusOr<Cursor> Open(const std::string& sql, const ExecOptions& exec = {});
+
+  /// Cursor variant of ExecutePrepared.
+  StatusOr<Cursor> OpenPrepared(const std::string& name,
+                                const ExecOptions& exec = {});
 
   /// Registers `sql` under `name`, parse/bind-validating it eagerly so
   /// errors surface at Prepare time. Re-preparing a name replaces it.
