@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Three-build gate for the concurrent subsystems (src/parallel, src/server):
+# Build gate for the concurrent subsystems (src/parallel, src/server):
 #   1. Release build, full test suite (correctness + cost-identity tests),
 #      plus a smoke run of bench_parallel_scaling (DoP {1,2}) whose
 #      byte-identity and counter-identity assertions cover the parallel
@@ -14,6 +14,14 @@
 # streaming-cursor sections assert byte-identity against Database::Query and
 # the cursor queue's bounded-memory contract while racing sessions on the
 # shared pool.
+#
+# A second trio of builds repeats Release/TSAN/ASan+UBSan with
+# -DMAGICDB_FAILPOINTS=ON and runs the chaos suite (fault injection at every
+# threaded site, memory-governor breaches, park/resume delay perturbation)
+# plus the server stress tests: any injected fault must leave the service
+# with zero leaked tickets, gang slots, or cursors — clean under both
+# sanitizers. The default builds above stay byte-identical because the
+# failpoint macros compile to nothing without the option.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,5 +59,25 @@ ctest --test-dir build-asan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 
 echo "=== Server-throughput bench smoke (ASan+UBSan) ==="
 ./build-asan/bench/bench_server_throughput --smoke
+
+CHAOS_FILTER='ChaosTest.*:ExecFailpointTest.*:MemoryGovernorTest.*:MemoryTrackerTest.*:ServerStressTest.*'
+
+echo "=== Chaos build (Release + failpoints) ==="
+cmake -B build-chaos -S . -DCMAKE_BUILD_TYPE=Release \
+      -DMAGICDB_FAILPOINTS=ON >/dev/null
+cmake --build build-chaos -j "${JOBS}"
+./build-chaos/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
+
+echo "=== Chaos build (TSAN + failpoints) ==="
+cmake -B build-chaos-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMAGICDB_SANITIZE=thread -DMAGICDB_FAILPOINTS=ON >/dev/null
+cmake --build build-chaos-tsan -j "${JOBS}"
+./build-chaos-tsan/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
+
+echo "=== Chaos build (ASan+UBSan + failpoints) ==="
+cmake -B build-chaos-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMAGICDB_SANITIZE=address -DMAGICDB_FAILPOINTS=ON >/dev/null
+cmake --build build-chaos-asan -j "${JOBS}"
+./build-chaos-asan/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
 
 echo "All checks passed."

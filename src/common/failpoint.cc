@@ -1,0 +1,121 @@
+#include "src/common/failpoint.h"
+
+#ifdef MAGICDB_FAILPOINTS
+
+#include <chrono>
+#include <thread>
+
+namespace magicdb {
+
+Status Failpoint::Evaluate() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+
+  Status injected;
+  int64_t delay_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // armed_ may have been cleared between the fast-path check and taking
+    // the lock; Disable holds mu_, so re-check under it.
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+
+    eligible_hits_++;
+    if (config_.fire_from_hit > 0 && eligible_hits_ < config_.fire_from_hit) {
+      return Status::OK();
+    }
+    if (config_.every_k > 1) {
+      const int64_t since_first =
+          eligible_hits_ - (config_.fire_from_hit > 0 ? config_.fire_from_hit
+                                                      : 1);
+      if (since_first % config_.every_k != 0) return Status::OK();
+    }
+    if (config_.max_fires >= 0 && fires_this_arm_ >= config_.max_fires) {
+      return Status::OK();
+    }
+    if (config_.probability < 1.0) {
+      if (!rng_ || !rng_->Bernoulli(config_.probability)) return Status::OK();
+    }
+    fires_this_arm_++;
+    injected = config_.inject;
+    delay_micros = config_.delay_micros;
+  }
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return injected;
+}
+
+void Failpoint::Enable(const FailpointConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  eligible_hits_ = 0;
+  fires_this_arm_ = 0;
+  rng_ = config.probability < 1.0 ? std::make_unique<Random>(config.seed)
+                                  : nullptr;
+  armed_.store(true, std::memory_order_release);
+}
+
+void Failpoint::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  rng_.reset();
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* const registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sites_[name];
+  if (!slot) slot = std::make_unique<Failpoint>(name);
+  return slot.get();
+}
+
+void FailpointRegistry::Enable(const std::string& name,
+                               const FailpointConfig& config) {
+  Site(name)->Enable(config);
+}
+
+void FailpointRegistry::Disable(const std::string& name) {
+  Site(name)->Disable();
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site->Disable();
+}
+
+std::vector<std::string> FailpointRegistry::SiteNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  return names;
+}
+
+int64_t FailpointRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site->fires();
+  return total;
+}
+
+std::string FailpointRegistry::MetricsText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, site] : sites_) {
+    out += "magicdb_failpoint_fires_total{site=\"";
+    out += name;
+    out += "\"} ";
+    out += std::to_string(site->fires());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_FAILPOINTS

@@ -1,0 +1,181 @@
+#ifndef MAGICDB_COMMON_FAILPOINT_H_
+#define MAGICDB_COMMON_FAILPOINT_H_
+
+/// Named failpoints for fault injection in tests.
+///
+/// A failpoint is a named site in production code where a test can arrange
+/// for an error Status or a delay to be injected. Sites are declared with the
+/// MAGICDB_FAILPOINT family of macros; the whole subsystem is compiled in
+/// only when MAGICDB_FAILPOINTS is defined (CMake option of the same name).
+/// In the default build every macro expands to a no-op that carries no
+/// registry symbol and no branch on the hot path.
+///
+/// Site naming convention: `<layer>.<component>.<event>`, e.g.
+/// `exec.hash_join.build` or `server.sink.push`. Sites self-register on
+/// first execution; `FailpointRegistry::SiteNames()` lists everything the
+/// current process has run through at least once.
+///
+/// Triggers are deterministic: fire on the Nth eligible hit, fire every Kth
+/// hit, or fire with probability p from a seeded PRNG; `max_fires` bounds the
+/// total. Tests activate a site with `ScopedFailpoint` so that the site is
+/// always disarmed on scope exit, even when the test fails.
+
+#include "src/common/status.h"
+
+#ifdef MAGICDB_FAILPOINTS
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace magicdb {
+
+/// What an armed failpoint does when its trigger matches.
+struct FailpointConfig {
+  /// Fire on the Nth eligible hit (1-based). 0 disables this trigger, i.e.
+  /// every hit is eligible from the start.
+  int64_t fire_from_hit = 1;
+  /// After becoming eligible, fire on every Kth hit (1 = every hit).
+  int64_t every_k = 1;
+  /// Additional probabilistic gate in [0, 1]; 1.0 = always (deterministic).
+  double probability = 1.0;
+  /// Seed for the probabilistic gate's PRNG (ignored when probability >= 1).
+  uint64_t seed = 42;
+  /// Maximum number of times the site may fire while armed; -1 = unlimited.
+  int64_t max_fires = -1;
+  /// Status returned from the site when the trigger fires. An OK status
+  /// means "delay only": the site sleeps but does not fail.
+  Status inject;
+  /// Simulated latency applied (outside all locks) on every fire.
+  int64_t delay_micros = 0;
+};
+
+/// One named site. Sites are created once and never destroyed; pointers
+/// returned by FailpointRegistry::Site are stable for the process lifetime.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// Called from the production site. Returns OK unless the site is armed
+  /// and the trigger matches, in which case the configured Status is
+  /// returned (after any configured delay).
+  Status Evaluate();
+
+  void Enable(const FailpointConfig& config);
+  void Disable();
+
+  const std::string& name() const { return name_; }
+  /// Total times the site was executed (armed or not).
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Total times the site fired (injected a fault or delay).
+  int64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> fires_{0};
+
+  std::mutex mu_;
+  FailpointConfig config_;            // guarded by mu_
+  int64_t eligible_hits_ = 0;         // hits seen while armed; guarded by mu_
+  int64_t fires_this_arm_ = 0;        // guarded by mu_
+  std::unique_ptr<Random> rng_;       // guarded by mu_
+};
+
+/// Process-wide registry of failpoint sites, keyed by name.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Find-or-create the site. The returned pointer is stable forever, so
+  /// call sites cache it in a function-local static.
+  Failpoint* Site(const std::string& name);
+
+  /// Arms `name` with `config`; creates the site if no code path has
+  /// executed it yet.
+  void Enable(const std::string& name, const FailpointConfig& config);
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  std::vector<std::string> SiteNames() const;
+  int64_t TotalFires() const;
+
+  /// Prometheus-style `magicdb_failpoint_fires_total{site="..."} N` lines
+  /// for every registered site, sorted by name.
+  std::string MetricsText() const;
+
+ private:
+  FailpointRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+};
+
+/// RAII site activation for tests: arms in the constructor, disarms in the
+/// destructor.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const FailpointConfig& config)
+      : name_(std::move(name)) {
+    FailpointRegistry::Instance().Enable(name_, config);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Instance().Disable(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace magicdb
+
+/// Evaluates the site and yields the (possibly injected) Status. Use when
+/// the caller wants to route the Status somewhere other than `return`.
+#define MAGICDB_FAILPOINT_EVAL(site)                         \
+  ([]() -> ::magicdb::Status {                               \
+    static ::magicdb::Failpoint* const _magicdb_fp =         \
+        ::magicdb::FailpointRegistry::Instance().Site(site); \
+    return _magicdb_fp->Evaluate();                          \
+  }())
+
+/// Evaluates the site and returns the injected Status from the enclosing
+/// function when it fires. The enclosing function must return Status.
+#define MAGICDB_FAILPOINT(site)                                  \
+  do {                                                           \
+    ::magicdb::Status _magicdb_fp_status =                       \
+        MAGICDB_FAILPOINT_EVAL(site);                            \
+    if (!_magicdb_fp_status.ok()) return _magicdb_fp_status;     \
+  } while (0)
+
+/// Evaluates the site (counting hits and applying any configured delay) but
+/// discards the Status. For void contexts where only timing perturbation is
+/// meaningful, e.g. the sink park/resume handoff.
+#define MAGICDB_FAILPOINT_HIT(site)            \
+  do {                                         \
+    (void)MAGICDB_FAILPOINT_EVAL(site);        \
+  } while (0)
+
+#else  // !MAGICDB_FAILPOINTS
+
+#define MAGICDB_FAILPOINT_EVAL(site) (::magicdb::Status())
+#define MAGICDB_FAILPOINT(site) \
+  do {                          \
+  } while (0)
+#define MAGICDB_FAILPOINT_HIT(site) \
+  do {                              \
+  } while (0)
+
+#endif  // MAGICDB_FAILPOINTS
+
+#endif  // MAGICDB_COMMON_FAILPOINT_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kUnavailable,
   kFailedPrecondition,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -84,8 +85,14 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/exec/filter_join_op.h"
 #include "src/exec/scan_ops.h"
@@ -81,6 +82,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
   group_index_.clear();
   next_group_ = 0;
   aggregated_ = false;
+  charged_bytes_ = 0;
   const bool parallel = shared_ != nullptr;
 
   MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
@@ -104,6 +106,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     if ((++rows_seen & 1023) == 0) {
       MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
     }
+    MAGICDB_FAILPOINT("exec.aggregate.build");
     if (parallel) {
       const int64_t p = pos_filter_join_ != nullptr
                             ? pos_filter_join_->last_probe_global_pos()
@@ -135,6 +138,13 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
       }
     }
     if (group == nullptr) {
+      // New group: governed memory — the key tuple plus one AggState per
+      // aggregate, retained until the groups are finalized.
+      const int64_t group_bytes =
+          TupleByteWidth(key) +
+          static_cast<int64_t>(aggs_.size() * sizeof(AggState));
+      MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(group_bytes));
+      charged_bytes_ += group_bytes;
       chain.push_back(static_cast<int64_t>(groups_.size()));
       StagedGroup fresh;
       fresh.pos = input_pos;
@@ -217,6 +227,10 @@ Status HashAggregateOp::Next(Tuple* out, bool* eof) {
 Status HashAggregateOp::Close() {
   groups_.clear();
   group_index_.clear();
+  if (ctx_ != nullptr) {
+    ctx_->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+  }
   return Status::OK();
 }
 

@@ -87,6 +87,10 @@ class HashAggregateOp final : public Operator {
   std::unordered_map<uint64_t, std::vector<int64_t>> group_index_;
   size_t next_group_ = 0;
   bool aggregated_ = false;
+  // Bytes charged to the query memory tracker for retained groups (keys +
+  // aggregate states, whether local or staged into the shared partitioned
+  // aggregate); released on Close.
+  int64_t charged_bytes_ = 0;
 
   // Parallel mode (EnableParallel); null/unused when sequential.
   std::shared_ptr<SharedAggregate> shared_;

@@ -12,6 +12,7 @@
 #include "src/bloom/bloom_filter.h"
 #include "src/common/cancellation.h"
 #include "src/common/cost_counters.h"
+#include "src/common/memory_tracker.h"
 #include "src/common/statusor.h"
 #include "src/types/schema.h"
 #include "src/types/tuple.h"
@@ -86,6 +87,30 @@ class ExecContext {
     return cancel_token_ == nullptr ? Status::OK() : cancel_token_->Check();
   }
 
+  /// Attaches the per-query memory governor. One tracker is shared by every
+  /// worker context of a query; a null tracker (the default) means no
+  /// governance and zero accounting overhead.
+  void set_memory_tracker(std::shared_ptr<MemoryTracker> tracker) {
+    memory_tracker_ = std::move(tracker);
+  }
+  const std::shared_ptr<MemoryTracker>& memory_tracker() const {
+    return memory_tracker_;
+  }
+
+  /// Charges retained bytes (hash-table rows, spooled tuples, partial
+  /// aggregates) against the query's memory limit. OK when untracked; on
+  /// breach returns kResourceExhausted and the caller must not retain the
+  /// allocation.
+  Status ChargeMemory(int64_t bytes) {
+    return memory_tracker_ == nullptr ? Status::OK()
+                                      : memory_tracker_->Charge(bytes);
+  }
+
+  /// Returns bytes previously charged with ChargeMemory.
+  void ReleaseMemory(int64_t bytes) {
+    if (memory_tracker_ != nullptr) memory_tracker_->Release(bytes);
+  }
+
   void BindFilterSet(const std::string& id,
                      std::shared_ptr<FilterSetBinding> binding) {
     filter_sets_[id] = std::move(binding);
@@ -109,6 +134,7 @@ class ExecContext {
  private:
   CostCounters counters_;
   CancelTokenPtr cancel_token_;
+  std::shared_ptr<MemoryTracker> memory_tracker_;
   int64_t memory_budget_bytes_ = 4 * 1024 * 1024;
   std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
   int64_t next_filter_set_id_ = 0;

@@ -1,5 +1,6 @@
 #include "src/exec/filter_join_op.h"
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 
 namespace magicdb {
@@ -84,6 +85,7 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
   measured_ = FilterJoinMeasured();
+  charged_bytes_ = 0;
   double phase_start = ctx->counters().TotalCost();
 
   // Phase 1: materialize the production set P (= the outer, Limitation 2).
@@ -93,6 +95,9 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
     bool eof = false;
     MAGICDB_RETURN_IF_ERROR(outer_->Next(&t, &eof));
     if (eof) break;
+    const int64_t row_bytes = TupleByteWidth(t);
+    MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    charged_bytes_ += row_bytes;
     production_.push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(outer_->Close());
@@ -173,8 +178,12 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
     MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
     if (eof) break;
     if (TupleHasNullAt(t, inner_keys_)) continue;
+    MAGICDB_FAILPOINT("exec.filter_join.build");
+    const int64_t row_bytes = TupleByteWidth(t);
+    MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    charged_bytes_ += row_bytes;
     ctx->counters().hash_operations += 1;
-    build_bytes += TupleByteWidth(t);
+    build_bytes += row_bytes;
     build_[HashTupleColumns(t, inner_keys_)].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
@@ -208,6 +217,7 @@ Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
   bucket_pos_ = 0;
   measured_ = FilterJoinMeasured();
   last_filter_set_size_ = 0;
+  charged_bytes_ = 0;
   double phase_start = ctx->counters().TotalCost();
 
   std::vector<int> identity(filter_outer_keys_.size());
@@ -224,6 +234,9 @@ Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
     bool eof = false;
     MAGICDB_RETURN_IF_ERROR(outer_->Next(&t, &eof));
     if (eof) break;
+    const int64_t row_bytes = TupleByteWidth(t);
+    MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    charged_bytes_ += row_bytes;
     const int64_t pos = driving_scan_->last_global_row();
     if (!TupleHasNullAt(t, filter_outer_keys_)) {
       ctx->counters().hash_operations += 1;
@@ -297,8 +310,14 @@ Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
       inner_status = inner_->Next(&t, &eof);
       if (!inner_status.ok() || eof) break;
       if (TupleHasNullAt(t, inner_keys_)) continue;
+      inner_status = MAGICDB_FAILPOINT_EVAL("exec.filter_join.build");
+      if (!inner_status.ok()) break;
+      const int64_t row_bytes = TupleByteWidth(t);
+      inner_status = ctx->ChargeMemory(row_bytes);
+      if (!inner_status.ok()) break;
+      charged_bytes_ += row_bytes;
       ctx->counters().hash_operations += 1;
-      build_bytes += TupleByteWidth(t);
+      build_bytes += row_bytes;
       (*shared_build)[HashTupleColumns(t, inner_keys_)].push_back(
           std::move(t));
     }
@@ -387,7 +406,11 @@ Status FilterJoinOp::Next(Tuple* out, bool* eof) {
 }
 
 Status FilterJoinOp::Close() {
-  if (ctx_ != nullptr) ctx_->UnbindFilterSet(binding_id_);
+  if (ctx_ != nullptr) {
+    ctx_->UnbindFilterSet(binding_id_);
+    ctx_->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+  }
   production_.clear();
   production_pos_.clear();
   build_.clear();

@@ -149,6 +149,9 @@ class FilterJoinOp final : public Operator {
   int64_t last_filter_set_size_ = 0;
   int64_t production_rows_per_page_ = 1;
   FilterJoinMeasured measured_;
+  // Bytes charged to the query memory tracker for the spooled production
+  // set and the restricted-inner hash table; released on Close.
+  int64_t charged_bytes_ = 0;
   // Parallel-mode wiring; null / unused in sequential mode.
   std::shared_ptr<SharedFilterJoin> shared_fj_;
   int worker_ = 0;

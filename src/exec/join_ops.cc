@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 
 namespace magicdb {
@@ -180,6 +181,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   bucket_pos_ = 0;
   spilled_ = false;
   probe_bytes_pending_ = 0;
+  charged_bytes_ = 0;
   // Build phase over the inner child. In shared (parallel) mode this
   // replica drains only its morsel-driven slice of the build input and
   // stages rows into the partitioned build; FinishStaging synchronizes
@@ -192,6 +194,12 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
     if (eof) break;
     if (TupleHasNullAt(t, inner_keys_)) continue;  // NULL keys never join
+    MAGICDB_FAILPOINT("exec.hash_join.build");
+    // Retained build row: governed memory, whether staged into the shared
+    // partitioned build or kept in this replica's private table.
+    const int64_t row_bytes = TupleByteWidth(t);
+    MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    charged_bytes_ += row_bytes;
     ctx->counters().hash_operations += 1;
     const uint64_t hash = HashTupleColumns(t, inner_keys_);
     if (shared_build_ != nullptr) {
@@ -199,7 +207,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
                            hash, std::move(t));
       continue;
     }
-    build_bytes += TupleByteWidth(t);
+    build_bytes += row_bytes;
     build_[hash].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
@@ -286,6 +294,10 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
 
 Status HashJoinOp::Close() {
   build_.clear();
+  if (ctx_ != nullptr) {
+    ctx_->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+  }
   return outer_->Close();
 }
 

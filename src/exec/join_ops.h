@@ -123,6 +123,9 @@ class HashJoinOp final : public Operator {
   // budget, both inputs pay one write+read partitioning pass.
   bool spilled_ = false;
   int64_t probe_bytes_pending_ = 0;
+  // Bytes this replica charged to the query memory tracker for retained
+  // build rows (local table or shared staging); released on Close.
+  int64_t charged_bytes_ = 0;
   // Parallel (shared partitioned) build wiring; null in sequential mode.
   std::shared_ptr<SharedHashBuild> shared_build_;
   int worker_ = 0;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/failpoint.h"
+
 namespace magicdb {
 
 namespace {
@@ -17,19 +19,30 @@ ResultSink::ResultSink(int64_t high_water_rows)
     : high_water_rows_(high_water_rows < 1 ? 1 : high_water_rows) {}
 
 bool ResultSink::ReserveOrPark(std::function<void()> resume) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // While draining, capacity is unbounded on purpose: the consumer is
-  // discarding rows and only wants the producer to reach Finish.
-  if (draining_ || static_cast<int64_t>(rows_.size()) < high_water_rows_) {
-    return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // While draining, capacity is unbounded on purpose: the consumer is
+    // discarding rows and only wants the producer to reach Finish.
+    if (draining_ || static_cast<int64_t>(rows_.size()) < high_water_rows_) {
+      return true;
+    }
+    parked_resume_ = std::move(resume);
+    ++producer_parks_;
   }
-  parked_resume_ = std::move(resume);
-  ++producer_parks_;
+  // Delay-injection site for the park/resume handoff: an injected sleep
+  // here lands between publishing the resume closure and the producer's
+  // return, the window a racing Fetch can re-submit the producer in.
+  MAGICDB_FAILPOINT_HIT("server.sink.park");
   return false;
 }
 
-void ResultSink::Push(std::vector<Tuple> batch) {
-  if (batch.empty()) return;
+Status ResultSink::Push(std::vector<Tuple> batch) {
+  if (batch.empty()) return Status::OK();
+  if (tracker_ != nullptr) {
+    int64_t batch_bytes = 0;
+    for (const Tuple& t : batch) batch_bytes += TupleByteWidth(t);
+    MAGICDB_RETURN_IF_ERROR(tracker_->Charge(batch_bytes));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     total_rows_pushed_ += static_cast<int64_t>(batch.size());
@@ -39,6 +52,7 @@ void ResultSink::Push(std::vector<Tuple> batch) {
     }
   }
   consumer_cv_.notify_all();
+  return Status::OK();
 }
 
 void ResultSink::Finish(Status status) {
@@ -69,10 +83,13 @@ StatusOr<std::vector<Tuple>> ResultSink::Fetch(int64_t max_rows,
         const int64_t n =
             std::min<int64_t>(max_rows, static_cast<int64_t>(rows_.size()));
         batch.reserve(static_cast<size_t>(n));
+        int64_t popped_bytes = 0;
         for (int64_t i = 0; i < n; ++i) {
+          if (tracker_ != nullptr) popped_bytes += TupleByteWidth(rows_.front());
           batch.push_back(std::move(rows_.front()));
           rows_.pop_front();
         }
+        if (tracker_ != nullptr) tracker_->Release(popped_bytes);
         if (parked_resume_ != nullptr &&
             static_cast<int64_t>(rows_.size()) < high_water_rows_) {
           resume = std::move(parked_resume_);
@@ -99,6 +116,11 @@ void ResultSink::Drain() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       draining_ = true;
+      if (tracker_ != nullptr && !rows_.empty()) {
+        int64_t discarded_bytes = 0;
+        for (const Tuple& t : rows_) discarded_bytes += TupleByteWidth(t);
+        tracker_->Release(discarded_bytes);
+      }
       rows_.clear();
       if (finished_) return;
       if (parked_resume_ != nullptr) {

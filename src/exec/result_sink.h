@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "src/common/cancellation.h"
+#include "src/common/memory_tracker.h"
 #include "src/common/statusor.h"
 #include "src/types/tuple.h"
 
@@ -48,6 +50,13 @@ class ResultSink {
   ResultSink(const ResultSink&) = delete;
   ResultSink& operator=(const ResultSink&) = delete;
 
+  /// Attaches the query's memory governor: queued rows are charged on Push
+  /// and released as the consumer pops (or Drain discards) them. Must be
+  /// called before the producer starts; null = ungoverned.
+  void set_memory_tracker(std::shared_ptr<MemoryTracker> tracker) {
+    tracker_ = std::move(tracker);
+  }
+
   // ----- producer side -----
 
   /// True: capacity available (or the stream is being drained) — produce
@@ -56,7 +65,10 @@ class ResultSink {
   bool ReserveOrPark(std::function<void()> resume);
 
   /// Appends a batch and wakes the consumer. Empty batches are dropped.
-  void Push(std::vector<Tuple> batch);
+  /// With a memory tracker attached the batch is charged first; on breach
+  /// the batch is dropped and kResourceExhausted returned — the producer
+  /// must Finish the stream with it.
+  Status Push(std::vector<Tuple> batch);
 
   /// Terminates the stream. The first call wins; `status` is what Fetch
   /// reports after the queued rows are drained (OK = clean end of stream).
@@ -95,6 +107,7 @@ class ResultSink {
 
  private:
   const int64_t high_water_rows_;
+  std::shared_ptr<MemoryTracker> tracker_;  // set before producers start
 
   mutable std::mutex mu_;
   std::condition_variable consumer_cv_;

@@ -1,5 +1,7 @@
 #include "src/exec/scan_ops.h"
 
+#include "src/common/failpoint.h"
+
 namespace magicdb {
 
 SeqScanOp::SeqScanOp(const Table* table, const std::string& alias)
@@ -36,6 +38,7 @@ Status SeqScanOp::Next(Tuple* out, bool* eof) {
     return Status::OK();
   }
   if (next_row_ % rows_per_page_ == 0) {
+    MAGICDB_FAILPOINT("storage.page_read");
     ctx_->counters().pages_read += 1;
     // Page boundaries are the sequential checkpoint: every blocking loop
     // (hash build, aggregation, sort input) bottoms out at a scan, so a

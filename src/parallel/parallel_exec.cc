@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/exec/aggregate_op.h"
 #include "src/exec/basic_ops.h"
@@ -131,6 +132,11 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
     } else {
       pos = shape.driving_scan->last_global_row();
     }
+    if (ctx->memory_tracker() != nullptr) {
+      // Staged gather rows live until the merged stream is drained, so
+      // they count against the query's limit like any retained state.
+      MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(TupleByteWidth(t)));
+    }
     run->push_back({pos, sub, std::move(t)});
     // Morsel-loop cancellation checkpoint (the driving scan also checks at
     // every morsel claim; this covers probe-heavy plans between claims).
@@ -175,6 +181,7 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
     // Fallback: this drain IS the execution.
     ctx.set_cancel_token(options.cancel_token);
     ctx.set_memory_budget_bytes(memory_budget_bytes);
+    ctx.set_memory_tracker(options.memory_tracker);
   }
   MAGICDB_ASSIGN_OR_RETURN(result.rows,
                            ExecuteToVector(staged.stream_root.get(), &ctx));
@@ -287,8 +294,17 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
   std::vector<ExecContext> contexts(dop_);
   std::vector<std::vector<GatherRow>> runs(dop_);
   const auto worker_fn = [&](int w) -> Status {
+    // Gang-startup fault site. It lives here rather than in
+    // ThreadPool::RunGang so a fired injection still runs the abort path:
+    // peers that already entered a phase barrier must be released.
+    Status fp = MAGICDB_FAILPOINT_EVAL("parallel.gang.start");
+    if (!fp.ok()) {
+      abort_all(fp);
+      return fp;
+    }
     contexts[w].set_cancel_token(options.cancel_token);
     contexts[w].set_memory_budget_bytes(memory_budget_bytes);
+    contexts[w].set_memory_tracker(options.memory_tracker);
     Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
                             &runs[w]);
     if (!st.ok()) abort_all(st);

@@ -1,11 +1,13 @@
 #ifndef MAGICDB_PARALLEL_PARALLEL_EXEC_H_
 #define MAGICDB_PARALLEL_PARALLEL_EXEC_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/cancellation.h"
 #include "src/common/cost_counters.h"
+#include "src/common/memory_tracker.h"
 #include "src/common/statusor.h"
 #include "src/exec/filter_join_op.h"
 #include "src/exec/operator.h"
@@ -27,6 +29,10 @@ struct ParallelRunOptions {
   /// Cooperative cancellation/deadline token threaded into every worker's
   /// ExecContext; null = not cancellable.
   CancelTokenPtr cancel_token;
+
+  /// Per-query memory governor shared by every worker's ExecContext (and by
+  /// the caller's result sink); null = ungoverned.
+  std::shared_ptr<MemoryTracker> memory_tracker;
 };
 
 /// Outcome of one (possibly parallel) pipeline execution.

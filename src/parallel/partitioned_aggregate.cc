@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/cost_counters.h"
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/exec/exec_context.h"
 
@@ -28,6 +29,10 @@ void SharedAggregate::AddInputBytes(int64_t bytes) {
 
 Status SharedAggregate::MergeOwnPartition(int worker, ExecContext* ctx,
                                           std::vector<StagedGroup>* merged) {
+  // Injected merge fault fires before the barrier: the failing worker
+  // unwinds through worker_fn's abort path, which aborts every barrier and
+  // releases the peers — arriving first and then failing would strand them.
+  MAGICDB_FAILPOINT("parallel.aggregate.merge");
   // All staging writes happen-before the barrier; afterwards partition
   // `worker` is read by this worker only, so one barrier suffices.
   MAGICDB_RETURN_IF_ERROR(staged_barrier_.ArriveAndWait());

@@ -26,6 +26,9 @@ struct CursorState {
 
   QueryService* service;
   ResultSink sink;
+  /// Per-query memory governor; null when the query runs ungoverned. Close
+  /// reads its peak for the query_memory_bytes histogram.
+  std::shared_ptr<MemoryTracker> memory_tracker;
   /// Never null: Close() cancels it to unwind any remaining production.
   CancelTokenPtr token;
   /// Catalog epoch the plan was built at; production quanta re-check it so

@@ -1,6 +1,7 @@
 #include "src/server/query_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/failpoint.h"
+#include "src/common/random.h"
 #include "src/exec/exec_context.h"
 #include "src/parallel/parallel_exec.h"
 
@@ -78,6 +81,10 @@ std::string ServiceStats::ToString() const {
      << " admitted=" << queries_admitted << " completed=" << queries_completed
      << " failed=" << queries_failed << " cancelled=" << queries_cancelled
      << " deadline_exceeded=" << deadlines_exceeded
+     << " resource_exhausted=" << queries_resource_exhausted
+     << " ddl_retries=" << query_ddl_retries
+     << " active_queries=" << active_queries
+     << " used_gang_slots=" << used_gang_slots
      << " plan_cache_hits=" << plan_cache_hits
      << " plan_cache_misses=" << plan_cache_misses
      << " instance_reuses=" << plan_instance_reuses
@@ -125,6 +132,10 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
       metrics_.counter("magicdb_server_queries_cancelled_total");
   deadlines_exceeded_ =
       metrics_.counter("magicdb_server_deadline_exceeded_total");
+  queries_resource_exhausted_ =
+      metrics_.counter("magicdb_server_queries_resource_exhausted_total");
+  query_ddl_retries_ =
+      metrics_.counter("magicdb_server_query_ddl_retries_total");
   plan_cache_hits_ = metrics_.counter("magicdb_server_plan_cache_hits_total");
   plan_cache_misses_ =
       metrics_.counter("magicdb_server_plan_cache_misses_total");
@@ -144,6 +155,7 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
   cursor_batch_wait_us_ =
       metrics_.histogram("magicdb_server_cursor_batch_wait_us");
+  query_memory_bytes_ = metrics_.histogram("magicdb_server_query_memory_bytes");
 }
 
 QueryService::~QueryService() {
@@ -244,7 +256,12 @@ void QueryService::PumpQuantum(const std::shared_ptr<StreamProducer>& p) {
   // stores its resume closure in the sink and returns the worker without
   // rescheduling. The consumer's Fetch re-submits it after draining below
   // the high-water mark.
-  if (!c->sink.ReserveOrPark([this, p] { SubmitProducer(p); })) {
+  if (!c->sink.ReserveOrPark([this, p] {
+        // Delay-injection site in the consumer-driven resume path; runs on
+        // the Fetch (client) thread just before the producer is re-queued.
+        MAGICDB_FAILPOINT_HIT("server.sink.resume");
+        SubmitProducer(p);
+      })) {
     cursor_parks_->Increment();
     return;
   }
@@ -280,7 +297,11 @@ void QueryService::PumpQuantum(const std::shared_ptr<StreamProducer>& p) {
     }
   }
   if (!batch.empty()) {
-    c->sink.Push(std::move(batch));
+    Status push_status = MAGICDB_FAILPOINT_EVAL("server.sink.push");
+    if (push_status.ok()) push_status = c->sink.Push(std::move(batch));
+    // A failed push (injected fault, or the queued rows breaching the
+    // memory limit) fails the stream; an earlier execution error wins.
+    if (status.ok() && !push_status.ok()) status = push_status;
   }
   if (!status.ok() || eof) {
     FinishProducer(p, std::move(status));
@@ -332,6 +353,8 @@ StatusOr<Cursor> QueryService::Open(Session* session, const std::string& sql,
       queries_cancelled_->Increment();
     } else if (s.code() == StatusCode::kDeadlineExceeded) {
       deadlines_exceeded_->Increment();
+    } else if (s.code() == StatusCode::kResourceExhausted) {
+      queries_resource_exhausted_->Increment();
     }
     queries_failed_->Increment();
     query_latency_us_->Observe(ElapsedUs(start));
@@ -395,6 +418,10 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       meta.est_rows = planned.est_rows;
       meta.filter_joins = planned.filter_joins;
       meta.optimizer_stats = planned.optimizer_stats;
+      // Injected insert failure models a cache under memory pressure: the
+      // query must fail cleanly at Open (ticket released by the caller)
+      // rather than stream from a half-registered plan.
+      MAGICDB_FAILPOINT("server.plan_cache.insert");
       plan_cache_.Insert(key, epoch, meta);
       if (want_instance) instance = std::move(planned.root);
     }
@@ -403,6 +430,16 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
                                    ? exec.stream_queue_rows
                                    : options_.stream_queue_rows;
     auto state = std::make_shared<CursorState>(this, high_water);
+    // Per-query memory governor: one tracker shared by every worker
+    // context and the result sink. 0 defers to the service default;
+    // negative opts out entirely.
+    const int64_t memory_limit = exec.memory_limit_bytes != 0
+                                     ? exec.memory_limit_bytes
+                                     : options_.query_memory_limit_bytes;
+    if (memory_limit > 0) {
+      state->memory_tracker = std::make_shared<MemoryTracker>(memory_limit);
+      state->sink.set_memory_tracker(state->memory_tracker);
+    }
     state->token = token;
     state->plan_epoch = epoch;
     state->cache_key = key;
@@ -419,6 +456,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     producer->cursor = state;
     producer->ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
     producer->ctx.set_cancel_token(token);
+    producer->ctx.set_memory_tracker(state->memory_tracker);
 
     if (effective_dop > 1) {
       // Mirror Database::ExecuteParallel on the shared pool: plan
@@ -441,6 +479,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       ParallelRunOptions run_options;
       run_options.shared_pool = pool_.get();
       run_options.cancel_token = token;
+      run_options.memory_tracker = state->memory_tracker;
       MAGICDB_ASSIGN_OR_RETURN(
           StagedStream staged,
           executor.RunStaged(std::move(replicas), opts.memory_budget_bytes,
@@ -501,6 +540,7 @@ StatusOr<std::vector<Tuple>> QueryService::FetchFromCursor(
   if (cursor->saw_eof) {
     return std::vector<Tuple>{};  // idempotent end-of-stream marker
   }
+  MAGICDB_FAILPOINT("server.cursor.fetch");
   const Clock::time_point start = Clock::now();
   StatusOr<std::vector<Tuple>> batch =
       cursor->sink.Fetch(max_rows, cursor->token.get());
@@ -537,6 +577,8 @@ Status QueryService::CloseCursor(CursorState* cursor) {
       queries_cancelled_->Increment();
     } else if (final.code() == StatusCode::kDeadlineExceeded) {
       deadlines_exceeded_->Increment();
+    } else if (final.code() == StatusCode::kResourceExhausted) {
+      queries_resource_exhausted_->Increment();
     }
     queries_failed_->Increment();
     terminal = final;
@@ -553,6 +595,9 @@ Status QueryService::CloseCursor(CursorState* cursor) {
                    : token_state;
   }
   cursor->terminal_status = terminal;
+  if (cursor->memory_tracker != nullptr) {
+    query_memory_bytes_->Observe(cursor->memory_tracker->peak_bytes());
+  }
   query_latency_us_->Observe(ElapsedUs(cursor->start_time));
   open_cursors_->Add(-1);
   ReleaseTicket();
@@ -569,11 +614,23 @@ StatusOr<QueryResult> QueryService::Query(Session* session,
   // keeps Query's pre-streaming contract — unrelated DDL never fails a
   // query — by replanning at the fresh epoch and restarting. Each retry
   // requires another DDL to land inside the retried execution, so a small
-  // bound suffices.
+  // bound suffices — but under sustained DDL churn immediate replans would
+  // hot-loop against the writer, so retries back off exponentially (capped)
+  // with jitter to de-synchronize racing sessions.
+  static std::atomic<uint64_t> retry_seq{0};
+  Random jitter_rng(0x9e3779b97f4a7c15ULL ^
+                    retry_seq.fetch_add(1, std::memory_order_relaxed));
+  int64_t backoff_us = 50;
+  constexpr int64_t kMaxBackoffUs = 5000;
   for (int retry = 0;
        retry < 10 &&
        result.status().code() == StatusCode::kFailedPrecondition;
        ++retry) {
+    query_ddl_retries_->Increment();
+    const int64_t sleep_us =
+        backoff_us + jitter_rng.UniformInt(0, backoff_us / 2);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff_us = std::min(backoff_us * 2, kMaxBackoffUs);
     result = QueryViaCursor(session, sql, exec);
   }
   return result;
@@ -639,6 +696,13 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.queries_failed = queries_failed_->Value();
   s.queries_cancelled = queries_cancelled_->Value();
   s.deadlines_exceeded = deadlines_exceeded_->Value();
+  s.queries_resource_exhausted = queries_resource_exhausted_->Value();
+  s.query_ddl_retries = query_ddl_retries_->Value();
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    s.active_queries = active_queries_;
+    s.used_gang_slots = used_gang_slots_;
+  }
   s.plan_cache_hits = plan_cache_hits_->Value();
   s.plan_cache_misses = plan_cache_misses_->Value();
   s.plan_instance_reuses = plan_instance_reuses_->Value();
@@ -672,7 +736,13 @@ ServiceStats QueryService::StatsSnapshot() const {
 
 std::string QueryService::MetricsText() const {
   morsels_stolen_->Set(pool_->steal_count());
-  return metrics_.TextDump();
+  std::string text = metrics_.TextDump();
+#ifdef MAGICDB_FAILPOINTS
+  // Failpoint builds export per-site fire counts so chaos runs can assert
+  // that the intended sites actually fired.
+  text += FailpointRegistry::Instance().MetricsText();
+#endif
+  return text;
 }
 
 }  // namespace magicdb

@@ -53,6 +53,12 @@ struct QueryServiceOptions {
   /// this plus one scheduler quantum. Per-query override:
   /// ExecOptions::stream_queue_rows.
   int64_t stream_queue_rows = 8192;
+
+  /// Default per-query memory limit (bytes) for retained execution state
+  /// (build tables, spooled tuples, aggregate groups, queued result rows).
+  /// A query breaching it fails with kResourceExhausted. 0 = ungoverned.
+  /// Per-query override: ExecOptions::memory_limit_bytes.
+  int64_t query_memory_limit_bytes = 0;
 };
 
 /// Point-in-time view of the service counters (see also MetricsText()).
@@ -64,6 +70,10 @@ struct ServiceStats {
   int64_t queries_failed = 0;
   int64_t queries_cancelled = 0;
   int64_t deadlines_exceeded = 0;
+  /// Queries that failed their per-query memory limit (kResourceExhausted).
+  int64_t queries_resource_exhausted = 0;
+  /// DDL-staleness replans Query() performed (each with backoff).
+  int64_t query_ddl_retries = 0;
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
   int64_t plan_instance_reuses = 0;
@@ -83,6 +93,12 @@ struct ServiceStats {
   /// shows up here instead of silently shifting latencies.
   int64_t parallel_fallbacks = 0;
   std::map<std::string, int64_t> parallel_fallback_reasons;
+  /// Live admission state: tickets currently held (admitted queries and
+  /// open cursors) and gang slots reserved by running parallel gangs. Both
+  /// must return to zero when every cursor is closed — the invariant the
+  /// chaos tests assert after each injected fault.
+  int active_queries = 0;
+  int used_gang_slots = 0;
   double admission_wait_us_p50 = 0.0;
   double admission_wait_us_p95 = 0.0;
   double query_latency_us_p50 = 0.0;
@@ -233,8 +249,9 @@ class QueryService {
   /// section — that is what lets DDL run while cursors are open).
   std::shared_mutex ddl_mu_;
 
-  // Admission state.
-  std::mutex admit_mu_;
+  // Admission state. Mutable so StatsSnapshot (const) can read the live
+  // ticket/gang-slot occupancy under it.
+  mutable std::mutex admit_mu_;
   std::condition_variable admit_cv_;
   std::deque<uint64_t> admit_queue_;  // waiter tickets, FIFO
   uint64_t next_ticket_ = 0;
@@ -251,6 +268,8 @@ class QueryService {
   Counter* queries_failed_;
   Counter* queries_cancelled_;
   Counter* deadlines_exceeded_;
+  Counter* queries_resource_exhausted_;
+  Counter* query_ddl_retries_;
   Counter* plan_cache_hits_;
   Counter* plan_cache_misses_;
   Counter* plan_instance_reuses_;
@@ -265,6 +284,8 @@ class QueryService {
   LatencyHistogram* admission_wait_us_;
   LatencyHistogram* query_latency_us_;
   LatencyHistogram* cursor_batch_wait_us_;
+  /// Peak tracked bytes per governed query, observed at cursor close.
+  LatencyHistogram* query_memory_bytes_;
 };
 
 }  // namespace magicdb

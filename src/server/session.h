@@ -41,6 +41,15 @@ struct ExecOptions {
   /// producer parks once this many rows are buffered unfetched. 0 = the
   /// service default (QueryServiceOptions::stream_queue_rows).
   int64_t stream_queue_rows = 0;
+
+  /// Memory limit (bytes) for this query's retained execution state: hash
+  /// and filter-join build tables, spooled production sets, aggregate
+  /// groups, staged parallel rows, and the unfetched result queue. A query
+  /// that would exceed it fails with StatusCode::kResourceExhausted instead
+  /// of growing unbounded. 0 = the service default
+  /// (QueryServiceOptions::query_memory_limit_bytes); negative = explicitly
+  /// ungoverned regardless of the service default.
+  int64_t memory_limit_bytes = 0;
 };
 
 /// One client's connection to a QueryService: per-session optimizer

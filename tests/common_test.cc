@@ -35,6 +35,17 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
   EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedPredicateAndToString) {
+  Status s = Status::ResourceExhausted("query memory limit exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_FALSE(Status::Internal("x").IsResourceExhausted());
+  EXPECT_FALSE(Status().IsResourceExhausted());
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: query memory limit exceeded");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -483,6 +483,44 @@ TEST(QueryServiceTest, ExplainAndMetricsText) {
   EXPECT_NE(dump.find("magicdb_server_query_latency_us"), std::string::npos);
   EXPECT_NE(dump.find("magicdb_server_plan_cache_misses_total 1"),
             std::string::npos);
+  // Governance/retry series are registered (and zero) even when unused.
+  EXPECT_NE(dump.find("magicdb_server_queries_resource_exhausted_total 0"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("magicdb_server_query_ddl_retries_total 0"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(QueryServiceTest, MemoryGovernanceMetricsExported) {
+  Database db;
+  MakeWorkload(&db);
+  QueryService service(&db, {});
+  std::unique_ptr<Session> session = service.CreateSession();
+
+  // A governed query that completes records its peak memory.
+  ExecOptions roomy;
+  roomy.memory_limit_bytes = 256 * 1024 * 1024;
+  ASSERT_TRUE(session->Query(kMagicQuery, roomy).ok());
+
+  // A governed query that breaches counts as resource-exhausted.
+  ExecOptions tiny;
+  tiny.memory_limit_bytes = 256;
+  auto r = session->Query(kMagicQuery, tiny);
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+
+  std::string dump = service.MetricsText();
+  EXPECT_NE(dump.find("magicdb_server_queries_resource_exhausted_total 1"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("magicdb_server_query_memory_bytes count=2"),
+            std::string::npos)
+      << dump;
+  ServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.queries_resource_exhausted, 1);
+  EXPECT_EQ(stats.active_queries, 0);
+  EXPECT_EQ(stats.used_gang_slots, 0);
 }
 
 }  // namespace
