@@ -17,11 +17,22 @@
 #
 # A second trio of builds repeats Release/TSAN/ASan+UBSan with
 # -DMAGICDB_FAILPOINTS=ON and runs the chaos suite (fault injection at every
-# threaded site, memory-governor breaches, park/resume delay perturbation)
-# plus the server stress tests: any injected fault must leave the service
-# with zero leaked tickets, gang slots, or cursors — clean under both
-# sanitizers. The default builds above stay byte-identical because the
-# failpoint macros compile to nothing without the option.
+# threaded site, memory-governor breaches, park/resume delay perturbation,
+# spill-file I/O faults, DDL catalog-mutation faults) plus the server stress
+# tests: any injected fault must leave the service with zero leaked tickets,
+# gang slots, or cursors — clean under both sanitizers. The default builds
+# above stay byte-identical because the failpoint macros compile to nothing
+# without the option.
+#
+# Finally, a low-memory chaos sweep reruns the FULL test suite inside the
+# Release and ASan+UBSan failpoint builds with a small default per-query
+# memory limit and a spill directory injected via environment, and with
+# delay failpoints armed on every spill I/O site. Every governed query in
+# the suite that crosses the small limit now takes the out-of-core paths
+# with perturbed spill-I/O timing; results must stay byte-identical and
+# ASan must see no lifetime bugs in the spill readers/writers. Tests that
+# pin their own limit or spill dir are unaffected (explicit options win
+# over the environment).
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,13 +71,28 @@ ctest --test-dir build-asan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 echo "=== Server-throughput bench smoke (ASan+UBSan) ==="
 ./build-asan/bench/bench_server_throughput --smoke
 
-CHAOS_FILTER='ChaosTest.*:ExecFailpointTest.*:MemoryGovernorTest.*:MemoryTrackerTest.*:ServerStressTest.*'
+CHAOS_FILTER='ChaosTest.*:ExecFailpointTest.*:MemoryGovernorTest.*:MemoryTrackerTest.*:ServerStressTest.*:SpillChaosTest.*:DdlChaosTest.*'
+
+# Env for the low-memory chaos sweep: an 8 MiB default query memory limit
+# (applied only where QueryServiceOptions leaves the limit unset), a shared
+# spill directory (applied only where spill_dir is unset), and delay-only
+# failpoints on the spill I/O sites.
+LOWMEM_SPILL_DIR="$(mktemp -d)"
+trap 'rm -rf "${LOWMEM_SPILL_DIR}"' EXIT
+LOWMEM_ENV=(
+  MAGICDB_TEST_QUERY_MEMORY_LIMIT=8388608
+  "MAGICDB_TEST_SPILL_DIR=${LOWMEM_SPILL_DIR}"
+  MAGICDB_FAILPOINT_DELAYS='spill.write:20,spill.read:20,spill.partition.open:20'
+)
 
 echo "=== Chaos build (Release + failpoints) ==="
 cmake -B build-chaos -S . -DCMAKE_BUILD_TYPE=Release \
       -DMAGICDB_FAILPOINTS=ON >/dev/null
 cmake --build build-chaos -j "${JOBS}"
 ./build-chaos/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
+
+echo "=== Low-memory chaos sweep (Release + failpoints, full suite) ==="
+env "${LOWMEM_ENV[@]}" ./build-chaos/tests/magicdb_tests
 
 echo "=== Chaos build (TSAN + failpoints) ==="
 cmake -B build-chaos-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -79,5 +105,8 @@ cmake -B build-chaos-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=address -DMAGICDB_FAILPOINTS=ON >/dev/null
 cmake --build build-chaos-asan -j "${JOBS}"
 ./build-chaos-asan/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
+
+echo "=== Low-memory chaos sweep (ASan+UBSan + failpoints, full suite) ==="
+env "${LOWMEM_ENV[@]}" ./build-chaos-asan/tests/magicdb_tests
 
 echo "All checks passed."

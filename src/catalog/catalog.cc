@@ -1,5 +1,7 @@
 #include "src/catalog/catalog.h"
 
+#include "src/common/failpoint.h"
+
 namespace magicdb {
 
 Status Catalog::CheckNameFree(const std::string& name) const {
@@ -11,6 +13,10 @@ Status Catalog::CheckNameFree(const std::string& name) const {
 
 StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
+  // Fault injected at the entry of the mutate+epoch-bump critical section:
+  // either nothing happens (this fault) or entry registration and the epoch
+  // bump both happen — never an entry without a bump.
+  MAGICDB_FAILPOINT("catalog.ddl.epoch_bump");
   Schema qualified = schema.WithQualifier(name);
   tables_.push_back(std::make_unique<Table>(name, qualified));
   Table* table = tables_.back().get();
@@ -48,6 +54,7 @@ StatusOr<Table*> Catalog::CreateRemoteTable(const std::string& name,
 Status Catalog::RegisterView(const std::string& name, LogicalPtr plan) {
   MAGICDB_RETURN_IF_ERROR(CheckNameFree(name));
   if (!plan) return Status::InvalidArgument("view plan is null");
+  MAGICDB_FAILPOINT("catalog.ddl.epoch_bump");
   CatalogEntry entry;
   entry.kind = CatalogEntry::Kind::kView;
   entry.name = name;

@@ -15,6 +15,8 @@ void CostCounters::AssertNonNegative() const {
   MAGICDB_CHECK(messages_sent >= 0);
   MAGICDB_CHECK(bytes_shipped >= 0);
   MAGICDB_CHECK(function_invocations >= 0);
+  MAGICDB_CHECK(spill_bytes_written >= 0);
+  MAGICDB_CHECK(spill_bytes_read >= 0);
 }
 
 std::string CostCounters::ToString() const {
@@ -22,8 +24,12 @@ std::string CostCounters::ToString() const {
   os << "{pages_read=" << pages_read << " pages_written=" << pages_written
      << " tuples=" << tuples_processed << " exprs=" << exprs_evaluated
      << " hashes=" << hash_operations << " msgs=" << messages_sent
-     << " bytes=" << bytes_shipped << " fn_calls=" << function_invocations
-     << " total_cost=" << TotalCost() << "}";
+     << " bytes=" << bytes_shipped << " fn_calls=" << function_invocations;
+  if (spill_bytes_written > 0 || spill_bytes_read > 0) {
+    os << " spill_written=" << spill_bytes_written
+       << " spill_read=" << spill_bytes_read;
+  }
+  os << " total_cost=" << TotalCost() << "}";
   return os.str();
 }
 

@@ -24,6 +24,9 @@ struct CostConstants {
   static constexpr double kBytePerCost = 1.0 / kPageSizeBytes;
   /// Cost of invoking a user-defined table function once.
   static constexpr double kFunctionInvokeCost = 5.0;
+  /// Partitions per recursive Grace-partitioning level, shared by the spill
+  /// subsystem (actual partitioning) and the cost model (predicted passes).
+  static constexpr int kSpillFanout = 8;
 };
 
 /// Pages occupied by `rows` tuples of `width_bytes` each, under the
@@ -47,6 +50,26 @@ inline int64_t RowsPerPage(int64_t width_bytes) {
   return rpp > 0 ? rpp : 1;
 }
 
+/// Grace partitioning passes needed to shrink `bytes` of hashed state under
+/// `budget_bytes` with fanout-way splits: 0 when it already fits, else the
+/// number of full write+read passes over the data. Shared by the cost model
+/// (prediction), the executors' budget heuristics (measurement), and the
+/// spill subsystem's recursion (actual passes) — one formula keeps all
+/// three consistent.
+inline int64_t SpillPasses(double bytes, double budget_bytes,
+                           int fanout = CostConstants::kSpillFanout) {
+  if (bytes <= 0) return 0;
+  if (budget_bytes <= 0) return 1;
+  if (bytes <= budget_bytes) return 0;
+  int64_t passes = 1;
+  double per_partition = bytes / fanout;
+  while (per_partition > budget_bytes && passes < 16) {
+    ++passes;
+    per_partition /= fanout;
+  }
+  return passes;
+}
+
 /// Accumulates the work an execution actually performed, in the same units
 /// the optimizer predicts. Experiment E3 (Table 1) compares the two
 /// directly. One counter instance is threaded through an execution context.
@@ -68,6 +91,12 @@ struct CostCounters {
   int64_t messages_sent = 0;
   int64_t bytes_shipped = 0;
   int64_t function_invocations = 0;
+  /// Bytes actually written to / read from spill files by this execution.
+  /// Informational: the page-I/O cost of spilling is already charged into
+  /// pages_written / pages_read, so these do not enter TotalCost(); they
+  /// exist so the server can tell spilled queries apart from in-memory ones.
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
 
   void Reset() { *this = CostCounters(); }
 
@@ -91,6 +120,8 @@ struct CostCounters {
     messages_sent += o.messages_sent;
     bytes_shipped += o.bytes_shipped;
     function_invocations += o.function_invocations;
+    spill_bytes_written += o.spill_bytes_written;
+    spill_bytes_read += o.spill_bytes_read;
     return *this;
   }
 
@@ -106,6 +137,8 @@ struct CostCounters {
     d.messages_sent = messages_sent - before.messages_sent;
     d.bytes_shipped = bytes_shipped - before.bytes_shipped;
     d.function_invocations = function_invocations - before.function_invocations;
+    d.spill_bytes_written = spill_bytes_written - before.spill_bytes_written;
+    d.spill_bytes_read = spill_bytes_read - before.spill_bytes_read;
     return d;
   }
 

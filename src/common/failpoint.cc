@@ -3,6 +3,7 @@
 #ifdef MAGICDB_FAILPOINTS
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 namespace magicdb {
@@ -63,8 +64,32 @@ void Failpoint::Disable() {
 }
 
 FailpointRegistry& FailpointRegistry::Instance() {
-  static FailpointRegistry* const registry = new FailpointRegistry();
+  static FailpointRegistry* const registry = []() {
+    auto* r = new FailpointRegistry();
+    r->ArmFromEnv();
+    return r;
+  }();
   return *registry;
+}
+
+void FailpointRegistry::ArmFromEnv() {
+  const char* spec = std::getenv("MAGICDB_FAILPOINT_DELAYS");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string s(spec);
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find(',', start);
+    if (end == std::string::npos) end = s.size();
+    const std::string entry = s.substr(start, end - start);
+    const size_t colon = entry.rfind(':');
+    if (colon != std::string::npos && colon > 0) {
+      FailpointConfig config;  // OK inject = delay-only
+      config.delay_micros =
+          std::strtoll(entry.c_str() + colon + 1, nullptr, 10);
+      if (config.delay_micros > 0) Enable(entry.substr(0, colon), config);
+    }
+    start = end + 1;
+  }
 }
 
 Failpoint* FailpointRegistry::Site(const std::string& name) {

@@ -19,6 +19,11 @@
 /// hit, or fire with probability p from a seeded PRNG; `max_fires` bounds the
 /// total. Tests activate a site with `ScopedFailpoint` so that the site is
 /// always disarmed on scope exit, even when the test fails.
+///
+/// The environment variable MAGICDB_FAILPOINT_DELAYS ("site:micros,...")
+/// arms the named sites as delay-only (OK status, injected latency) at
+/// registry creation, so an entire test binary can run with perturbed
+/// timing at chosen sites without per-test arming.
 
 #include "src/common/status.h"
 
@@ -116,6 +121,9 @@ class FailpointRegistry {
 
  private:
   FailpointRegistry() = default;
+
+  /// Parses MAGICDB_FAILPOINT_DELAYS and arms each listed site delay-only.
+  void ArmFromEnv();
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Failpoint>> sites_;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/common/failpoint.h"
 #include "src/exec/basic_ops.h"
 #include "src/parallel/parallel_exec.h"
 #include "src/sql/binder.h"
@@ -56,6 +57,9 @@ Status Database::Execute(const std::string& sql) {
   MAGICDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable: {
+      // Injected fault models table creation failing (e.g. storage setup)
+      // before the catalog is touched; the catalog must stay unchanged.
+      MAGICDB_FAILPOINT("db.ddl.create_table");
       Schema schema;
       for (const ColumnDef& col : stmt.columns) {
         schema.AddColumn({"", col.name, col.type});
@@ -69,6 +73,10 @@ Status Database::Execute(const std::string& sql) {
       Binder binder(&catalog_);
       MAGICDB_ASSIGN_OR_RETURN(LogicalPtr plan,
                                binder.BindSelect(*stmt.select));
+      // Injected fault lands after the view body bound successfully but
+      // before registration — the window where a half-created view would
+      // be observable if registration were not atomic.
+      MAGICDB_FAILPOINT("db.ddl.create_view");
       return catalog_.RegisterView(stmt.name, plan);
     }
     case Statement::Kind::kSelect:

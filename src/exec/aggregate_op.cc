@@ -83,6 +83,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
   next_group_ = 0;
   aggregated_ = false;
   charged_bytes_ = 0;
+  agg_spill_.reset();
   const bool parallel = shared_ != nullptr;
 
   MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
@@ -117,6 +118,12 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
         input_pos = p;
         input_sub = 0;
       }
+    } else {
+      // Sequential rank: the input row index. Monotone, so groups_ in
+      // first-seen order is already sorted by (pos, sub) — the order the
+      // spill merge (if engaged) reproduces.
+      input_pos = rows_seen - 1;
+      input_sub = 0;
     }
     input_bytes += TupleByteWidth(row);
     // Compute the group key.
@@ -129,44 +136,105 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     }
     ctx->counters().hash_operations += 1;
     const uint64_t h = HashTupleColumns(key, key_identity);
-    std::vector<int64_t>& chain = group_index_[h];
     StagedGroup* group = nullptr;
-    for (int64_t gi : chain) {
-      if (CompareTuples(groups_[gi].key, key) == 0) {
-        group = &groups_[gi];
+    while (true) {
+      if (agg_spill_ != nullptr && agg_spill_->IsSpilled(h)) {
+        // This hash partition has been evicted: fold the row into a one-row
+        // partial state and append it to the partition file; it is combined
+        // during re-aggregation at end of input.
+        StagedGroup partial;
+        partial.pos = input_pos;
+        partial.sub = input_sub;
+        partial.hash = h;
+        partial.key = std::move(key);
+        partial.states.resize(aggs_.size());
+        MAGICDB_RETURN_IF_ERROR(Accumulate(row, &partial));
+        MAGICDB_RETURN_IF_ERROR(agg_spill_->AddPartial(partial, ctx));
         break;
       }
-    }
-    if (group == nullptr) {
+      std::vector<int64_t>& chain = group_index_[h];
+      for (int64_t gi : chain) {
+        if (CompareTuples(groups_[gi].key, key) == 0) {
+          group = &groups_[gi];
+          break;
+        }
+      }
+      if (group != nullptr) break;
       // New group: governed memory — the key tuple plus one AggState per
       // aggregate, retained until the groups are finalized.
       const int64_t group_bytes =
           TupleByteWidth(key) +
           static_cast<int64_t>(aggs_.size() * sizeof(AggState));
-      MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(group_bytes));
-      charged_bytes_ += group_bytes;
-      chain.push_back(static_cast<int64_t>(groups_.size()));
-      StagedGroup fresh;
-      fresh.pos = input_pos;
-      fresh.sub = input_sub;
-      fresh.hash = h;
-      fresh.key = std::move(key);
-      fresh.states.resize(aggs_.size());
-      groups_.push_back(std::move(fresh));
-      group = &groups_.back();
+      Status charge = ctx->ChargeMemory(group_bytes);
+      if (charge.ok()) {
+        charged_bytes_ += group_bytes;
+        chain.push_back(static_cast<int64_t>(groups_.size()));
+        StagedGroup fresh;
+        fresh.pos = input_pos;
+        fresh.sub = input_sub;
+        fresh.hash = h;
+        fresh.key = std::move(key);
+        fresh.states.resize(aggs_.size());
+        groups_.push_back(std::move(fresh));
+        group = &groups_.back();
+        break;
+      }
+      // A governed breach turns into victim-partition eviction when a spill
+      // area is attached (sequential mode only; parallel replicas fail the
+      // gang and the service retries sequentially with spilling).
+      if (charge.code() != StatusCode::kResourceExhausted ||
+          !ctx->spill_enabled() || parallel) {
+        return charge;
+      }
+      if (agg_spill_ == nullptr) {
+        agg_spill_ =
+            std::make_unique<AggSpill>(ctx->spill_manager(), aggs_.size());
+        MAGICDB_RETURN_IF_ERROR(agg_spill_->Start(ctx));
+      }
+      // Every partition already evicted and one group still does not fit:
+      // eviction cannot help any further.
+      if (agg_spill_->AllSpilled()) return charge;
+      // Evicting rebuilds groups_/group_index_, so retry the lookup (the
+      // victim may or may not be this row's partition).
+      MAGICDB_RETURN_IF_ERROR(agg_spill_->EvictNextPartition(
+          &groups_, &group_index_, &charged_bytes_, ctx));
     }
-    MAGICDB_RETURN_IF_ERROR(Accumulate(row, group));
+    if (group != nullptr) {
+      MAGICDB_RETURN_IF_ERROR(Accumulate(row, group));
+    }
   }
   MAGICDB_RETURN_IF_ERROR(child_->Close());
 
   if (!parallel) {
-    // Input over the memory budget: charge one partitioning pass, mirroring
-    // the hash-join Grace model.
+    if (agg_spill_ != nullptr) {
+      // Out of core: evict the remaining resident partitions too, so the
+      // re-aggregation passes start from an (almost) empty tracker — the
+      // resident set can sit just under the limit, and keeping it charged
+      // while a partition's groups are rebuilt would double-count nearly
+      // the whole budget. Rank metadata rides along in the records, so the
+      // merge still emits global first-seen order. Real page I/O was
+      // charged by the spill files, so the heuristic below is skipped.
+      while (!agg_spill_->AllSpilled()) {
+        MAGICDB_RETURN_IF_ERROR(agg_spill_->EvictNextPartition(
+            &groups_, &group_index_, &charged_bytes_, ctx));
+      }
+      MAGICDB_RETURN_IF_ERROR(agg_spill_->FinishInput(ctx));
+      MAGICDB_RETURN_IF_ERROR(agg_spill_->BuildOutput(std::move(groups_), ctx));
+      groups_.clear();
+      group_index_.clear();
+      aggregated_ = true;
+      return Status::OK();
+    }
+    // Input over the memory budget: charge the predicted Grace partitioning
+    // passes, mirroring the hash-join spill model.
     if (input_bytes > ctx->memory_budget_bytes()) {
+      const int64_t passes =
+          SpillPasses(static_cast<double>(input_bytes),
+                      static_cast<double>(ctx->memory_budget_bytes()));
       const int64_t pages = (input_bytes + CostConstants::kPageSizeBytes - 1) /
                             CostConstants::kPageSizeBytes;
-      ctx->counters().pages_written += pages;
-      ctx->counters().pages_read += pages;
+      ctx->counters().pages_written += pages * passes;
+      ctx->counters().pages_read += pages * passes;
     }
     // Scalar aggregate over empty input still yields one row.
     if (group_by_.empty() && groups_.empty()) {
@@ -206,6 +274,26 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
 
 Status HashAggregateOp::Next(Tuple* out, bool* eof) {
   MAGICDB_CHECK(aggregated_);
+  if (agg_spill_ != nullptr) {
+    StagedGroup g;
+    bool has_group = false;
+    MAGICDB_RETURN_IF_ERROR(agg_spill_->NextGroup(&g, &has_group, ctx_));
+    if (!has_group) {
+      *eof = true;
+      return Status::OK();
+    }
+    last_group_pos_ = g.pos;
+    last_group_sub_ = g.sub;
+    Tuple result = std::move(g.key);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      MAGICDB_ASSIGN_OR_RETURN(Value v, Finalize(aggs_[a], g.states[a]));
+      result.push_back(std::move(v));
+    }
+    ctx_->counters().tuples_processed += 1;
+    *out = std::move(result);
+    *eof = false;
+    return Status::OK();
+  }
   if (next_group_ >= groups_.size()) {
     *eof = true;
     return Status::OK();
@@ -227,6 +315,7 @@ Status HashAggregateOp::Next(Tuple* out, bool* eof) {
 Status HashAggregateOp::Close() {
   groups_.clear();
   group_index_.clear();
+  agg_spill_.reset();
   if (ctx_ != nullptr) {
     ctx_->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;

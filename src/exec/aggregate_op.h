@@ -13,6 +13,7 @@
 #include "src/expr/expr.h"
 #include "src/parallel/partitioned_aggregate.h"
 #include "src/plan/logical_plan.h"
+#include "src/spill/agg_spill.h"
 
 namespace magicdb {
 
@@ -91,6 +92,11 @@ class HashAggregateOp final : public Operator {
   // aggregate states, whether local or staged into the shared partitioned
   // aggregate); released on Close.
   int64_t charged_bytes_ = 0;
+  // Out-of-core hash aggregation, engaged when a new group breaches the
+  // query's hard memory limit and spilling is enabled (sequential mode
+  // only). Victim partitions of the group table are evicted as partial
+  // states and re-aggregated one at a time at end of input.
+  std::unique_ptr<AggSpill> agg_spill_;
 
   // Parallel mode (EnableParallel); null/unused when sequential.
   std::shared_ptr<SharedAggregate> shared_;

@@ -119,12 +119,17 @@ SortOp::SortOp(OpPtr child, std::vector<SortKey> keys)
       keys_(std::move(keys)) {}
 
 Status SortOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
   sorted_.clear();
   next_ = 0;
+  sorter_.reset();
+  charged_bytes_ = 0;
+  base_seq_ = 0;
   MAGICDB_RETURN_IF_ERROR(child_->Open(ctx));
   std::vector<Tuple> rows;
   std::vector<Tuple> row_keys;
   int64_t bytes = 0;
+  int64_t total_rows = 0;
   while (true) {
     Tuple t;
     bool eof = false;
@@ -137,11 +142,51 @@ Status SortOp::Open(ExecContext* ctx) {
       MAGICDB_ASSIGN_OR_RETURN(Value v, sk.expr->Eval(t));
       k.push_back(std::move(v));
     }
+    // Buffered row + its computed key tuple: governed memory.
+    const int64_t row_bytes = TupleByteWidth(t) + TupleByteWidth(k);
+    Status charge = ctx->ChargeMemory(row_bytes);
+    if (!charge.ok()) {
+      // A governed breach turns into external merge sort when a spill area
+      // is attached: flush the buffer as one sorted run and retry.
+      if (charge.code() != StatusCode::kResourceExhausted ||
+          !ctx->spill_enabled()) {
+        return charge;
+      }
+      if (sorter_ == nullptr) {
+        std::vector<bool> ascending;
+        ascending.reserve(keys_.size());
+        for (const SortKey& sk : keys_) ascending.push_back(sk.ascending);
+        sorter_ = std::make_unique<ExternalSorter>(ctx->spill_manager(),
+                                                   std::move(ascending));
+      }
+      const int64_t flushed = static_cast<int64_t>(rows.size());
+      MAGICDB_RETURN_IF_ERROR(
+          sorter_->SpillRun(&rows, &row_keys, base_seq_, &charged_bytes_, ctx));
+      base_seq_ += flushed;
+      // Second failure is final: even one row does not fit.
+      MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    }
+    charged_bytes_ += row_bytes;
     bytes += TupleByteWidth(t);
+    ++total_rows;
     rows.push_back(std::move(t));
     row_keys.push_back(std::move(k));
   }
   MAGICDB_RETURN_IF_ERROR(child_->Close());
+
+  // Charge n log2 n comparisons as CPU work over the full input.
+  if (total_rows > 1) {
+    ctx->counters().exprs_evaluated += static_cast<int64_t>(
+        static_cast<double>(total_rows) *
+        std::ceil(std::log2(static_cast<double>(total_rows))));
+  }
+  if (sorter_ != nullptr) {
+    // Out of core: the final buffer becomes the resident run and Next()
+    // k-way merges. Real page I/O was charged by the spill files, so the
+    // heuristic below is skipped.
+    return sorter_->FinishInput(std::move(rows), std::move(row_keys),
+                                base_seq_, ctx);
+  }
 
   const int64_t n = static_cast<int64_t>(rows.size());
   std::vector<int64_t> order(rows.size());
@@ -156,24 +201,22 @@ Status SortOp::Open(ExecContext* ctx) {
   sorted_.reserve(rows.size());
   for (int64_t i : order) sorted_.push_back(std::move(rows[i]));
 
-  // Charge n log2 n comparisons as CPU work.
-  if (n > 1) {
-    ctx->counters().exprs_evaluated +=
-        static_cast<int64_t>(static_cast<double>(n) *
-                             std::ceil(std::log2(static_cast<double>(n))));
-  }
-  // External pass when the input exceeds the memory budget: one full
-  // write + read of the data.
+  // External passes when the input exceeds the memory budget: one full
+  // write + read of the data per predicted pass.
   if (bytes > ctx->memory_budget_bytes()) {
+    const int64_t passes =
+        SpillPasses(static_cast<double>(bytes),
+                    static_cast<double>(ctx->memory_budget_bytes()));
     const int64_t pages =
         PagesForRows(n, std::max<int64_t>(1, bytes / std::max<int64_t>(1, n)));
-    ctx->counters().pages_written += pages;
-    ctx->counters().pages_read += pages;
+    ctx->counters().pages_written += pages * passes;
+    ctx->counters().pages_read += pages * passes;
   }
   return Status::OK();
 }
 
 Status SortOp::Next(Tuple* out, bool* eof) {
+  if (sorter_ != nullptr) return sorter_->Next(out, eof, ctx_);
   if (next_ >= sorted_.size()) {
     *eof = true;
     return Status::OK();
@@ -185,6 +228,11 @@ Status SortOp::Next(Tuple* out, bool* eof) {
 
 Status SortOp::Close() {
   sorted_.clear();
+  sorter_.reset();
+  if (ctx_ != nullptr) {
+    ctx_->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+  }
   return Status::OK();
 }
 

@@ -1,12 +1,14 @@
 #ifndef MAGICDB_EXEC_BASIC_OPS_H_
 #define MAGICDB_EXEC_BASIC_OPS_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/exec/operator.h"
 #include "src/expr/expr.h"
+#include "src/spill/external_sorter.h"
 
 namespace magicdb {
 
@@ -68,8 +70,11 @@ class DistinctOp final : public Operator {
 };
 
 /// Full sort on key expressions. Keys are computed once per tuple; if the
-/// input exceeds the context memory budget, one external merge pass is
-/// charged (write + read of all pages).
+/// input exceeds the context memory budget, the predicted external merge
+/// passes are charged (write + read of all pages per pass). The buffered
+/// input is governed memory; when it breaches the query's hard limit and
+/// spilling is enabled, the sort degrades to an external merge sort
+/// (sorted runs on disk + k-way merge) with byte-identical output.
 class SortOp final : public Operator {
  public:
   struct SortKey {
@@ -90,8 +95,14 @@ class SortOp final : public Operator {
  private:
   OpPtr child_;
   std::vector<SortKey> keys_;
+  ExecContext* ctx_ = nullptr;
   std::vector<Tuple> sorted_;
   size_t next_ = 0;
+  // Bytes charged for the buffered rows + key tuples; released on Close.
+  int64_t charged_bytes_ = 0;
+  // External merge sort, engaged on a governed memory breach.
+  std::unique_ptr<ExternalSorter> sorter_;
+  int64_t base_seq_ = 0;
 };
 
 /// Spools the child on first Open and replays the spool on every

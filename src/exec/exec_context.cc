@@ -1,8 +1,14 @@
 #include "src/exec/exec_context.h"
 
 #include "src/common/logging.h"
+#include "src/spill/spill_manager.h"
 
 namespace magicdb {
+
+bool ExecContext::spill_enabled() const {
+  return spill_manager_ != nullptr && spill_manager_->enabled() &&
+         memory_tracker_ != nullptr;
+}
 
 namespace {
 std::vector<int> IdentityIndexes(size_t n) {

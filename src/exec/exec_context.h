@@ -19,6 +19,8 @@
 
 namespace magicdb {
 
+class SpillManager;
+
 /// A materialized magic filter set, produced by a FilterJoinOp and consumed
 /// inside the rewritten inner plan (FilterSetScanOp / FilterProbeOp). The
 /// exact implementation keeps the distinct key tuples plus a hash set; the
@@ -111,6 +113,22 @@ class ExecContext {
     if (memory_tracker_ != nullptr) memory_tracker_->Release(bytes);
   }
 
+  /// Attaches the spill area this query may degrade to under memory
+  /// pressure. Null (the default) or a disabled manager means a breach
+  /// stays a hard kResourceExhausted failure.
+  void set_spill_manager(std::shared_ptr<SpillManager> mgr) {
+    spill_manager_ = std::move(mgr);
+  }
+  const std::shared_ptr<SpillManager>& spill_manager() const {
+    return spill_manager_;
+  }
+
+  /// True when operators may spill: a usable spill area is attached AND the
+  /// query is actually governed (spilling exists to satisfy the memory
+  /// governor; ungoverned queries never need it). Defined in
+  /// exec_context.cc to keep SpillManager a forward declaration here.
+  bool spill_enabled() const;
+
   void BindFilterSet(const std::string& id,
                      std::shared_ptr<FilterSetBinding> binding) {
     filter_sets_[id] = std::move(binding);
@@ -135,6 +153,7 @@ class ExecContext {
   CostCounters counters_;
   CancelTokenPtr cancel_token_;
   std::shared_ptr<MemoryTracker> memory_tracker_;
+  std::shared_ptr<SpillManager> spill_manager_;
   int64_t memory_budget_bytes_ = 4 * 1024 * 1024;
   std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
   int64_t next_filter_set_id_ = 0;

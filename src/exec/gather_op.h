@@ -2,10 +2,12 @@
 #define MAGICDB_EXEC_GATHER_OP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/exec/operator.h"
+#include "src/spill/spill_file.h"
 
 namespace magicdb {
 
@@ -25,15 +27,30 @@ struct GatherRow {
   Tuple row;
 };
 
+/// One worker's output run, possibly disk-backed: under memory pressure the
+/// worker flushes its accumulated rows to `spilled` (already rank-ordered —
+/// flushes preserve arrival order) and keeps only the unflushed tail in
+/// `rows`. Every rank in the file precedes every rank in the tail.
+struct GatherRun {
+  std::unique_ptr<SpillFile> spilled;  // may be null: fully in memory
+  std::vector<GatherRow> rows;
+};
+
 /// Deterministic merge of the per-worker output runs of a parallel
 /// pipeline. A k-way merge on the (pos, sub) rank reproduces exactly
 /// the row order a single-threaded execution emits, so results are
-/// byte-identical at any degree of parallelism. GatherOp performs no query
-/// work of its own and charges nothing to the cost counters — the rows it
-/// forwards were fully paid for by the workers that produced them.
+/// byte-identical at any degree of parallelism — whether a run lives in
+/// memory or starts with a spilled prefix. GatherOp performs no query work
+/// of its own and charges nothing to the cost counters — the rows it
+/// forwards were fully paid for by the workers that produced them (spilled
+/// gather files are created with charging disabled for the same reason).
 class GatherOp final : public Operator {
  public:
-  /// Each run must be sorted ascending by (pos, sub). Takes ownership.
+  /// Each run must be sorted ascending by (pos, sub); a spilled prefix must
+  /// precede its in-memory tail in rank order. Takes ownership.
+  GatherOp(Schema schema, std::vector<GatherRun> runs);
+
+  /// All-in-memory convenience form.
   GatherOp(Schema schema, std::vector<std::vector<GatherRow>> runs);
 
   Status Open(ExecContext* ctx) override;
@@ -42,8 +59,23 @@ class GatherOp final : public Operator {
   std::string Describe() const override;
 
  private:
-  std::vector<std::vector<GatherRow>> runs_;
-  std::vector<size_t> cursor_;  // next unconsumed index per run
+  /// Merge cursor over one run: while `file_has`, (pos, sub, row) hold the
+  /// decoded head record of the spilled prefix; afterwards `mem` indexes
+  /// the in-memory tail.
+  struct Cursor {
+    bool file_has = false;
+    int64_t pos = 0;
+    int64_t sub = 0;
+    Tuple row;
+    size_t mem = 0;
+  };
+
+  Status AdvanceFile(size_t r);
+  /// Fills pos/sub of run `r`'s current head; false when exhausted.
+  bool Head(size_t r, int64_t* pos, int64_t* sub) const;
+
+  std::vector<GatherRun> runs_;
+  std::vector<Cursor> cursor_;
 };
 
 }  // namespace magicdb

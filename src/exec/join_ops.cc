@@ -180,8 +180,12 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
   spilled_ = false;
+  spill_passes_ = 1;
   probe_bytes_pending_ = 0;
   charged_bytes_ = 0;
+  grace_.reset();
+  probe_spilled_ = false;
+  probe_rows_seen_ = 0;
   // Build phase over the inner child. In shared (parallel) mode this
   // replica drains only its morsel-driven slice of the build input and
   // stages rows into the partitioned build; FinishStaging synchronizes
@@ -195,13 +199,36 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     if (eof) break;
     if (TupleHasNullAt(t, inner_keys_)) continue;  // NULL keys never join
     MAGICDB_FAILPOINT("exec.hash_join.build");
+    ctx->counters().hash_operations += 1;
+    const uint64_t hash = HashTupleColumns(t, inner_keys_);
+    if (grace_ != nullptr) {
+      // Already out of core: every remaining build row goes straight to
+      // its Grace partition, no memory charge.
+      MAGICDB_RETURN_IF_ERROR(grace_->AddBuildRow(hash, t, ctx));
+      continue;
+    }
     // Retained build row: governed memory, whether staged into the shared
     // partitioned build or kept in this replica's private table.
     const int64_t row_bytes = TupleByteWidth(t);
-    MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
+    Status charge = ctx->ChargeMemory(row_bytes);
+    if (!charge.ok()) {
+      // A governed breach turns into out-of-core execution when a spill
+      // area is attached (sequential mode only; parallel replicas fail the
+      // gang and the service retries sequentially with spilling).
+      if (charge.code() != StatusCode::kResourceExhausted ||
+          !ctx->spill_enabled() || shared_build_ != nullptr) {
+        return charge;
+      }
+      grace_ = std::make_unique<GraceHashJoin>(ctx->spill_manager(),
+                                               outer_keys_, inner_keys_,
+                                               residual_.get());
+      MAGICDB_RETURN_IF_ERROR(
+          grace_->BeginBuildSpill(ctx, &build_, &charged_bytes_));
+      build_bytes = 0;
+      MAGICDB_RETURN_IF_ERROR(grace_->AddBuildRow(hash, t, ctx));
+      continue;
+    }
     charged_bytes_ += row_bytes;
-    ctx->counters().hash_operations += 1;
-    const uint64_t hash = HashTupleColumns(t, inner_keys_);
     if (shared_build_ != nullptr) {
       shared_build_->Stage(worker_, shared_inner_scan_->last_global_row(),
                            hash, std::move(t));
@@ -211,6 +238,10 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     build_[hash].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  if (grace_ != nullptr) {
+    MAGICDB_RETURN_IF_ERROR(grace_->FinishBuild(ctx));
+    return outer_->Open(ctx);
+  }
   if (shared_build_ != nullptr) {
     // Barrier + partition assembly; global spill accounting happens inside
     // (charged once, not once per replica).
@@ -218,20 +249,47 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     spilled_ = shared_build_->spilled();
     return outer_->Open(ctx);
   }
-  // Build side over budget: charge one Grace partitioning pass. The build
+  // Build side over budget: charge the Grace partitioning passes the spill
+  // subsystem would take to shrink each partition under budget. The build
   // input pays now; the probe input pays as it streams (see Next).
   if (build_bytes > ctx->memory_budget_bytes()) {
     spilled_ = true;
+    spill_passes_ = SpillPasses(static_cast<double>(build_bytes),
+                                static_cast<double>(ctx->memory_budget_bytes()));
     const int64_t build_pages =
         (build_bytes + CostConstants::kPageSizeBytes - 1) /
         CostConstants::kPageSizeBytes;
-    ctx->counters().pages_written += build_pages;
-    ctx->counters().pages_read += build_pages;
+    ctx->counters().pages_written += build_pages * spill_passes_;
+    ctx->counters().pages_read += build_pages * spill_passes_;
   }
   return outer_->Open(ctx);
 }
 
+Status HashJoinOp::DrainProbeToSpill() {
+  while (true) {
+    Tuple t;
+    bool outer_eof = false;
+    MAGICDB_RETURN_IF_ERROR(outer_->Next(&t, &outer_eof));
+    if (outer_eof) break;
+    if (++probe_rows_seen_ % 1024 == 0) {
+      MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
+    }
+    if (TupleHasNullAt(t, outer_keys_)) continue;  // NULL keys never join
+    ctx_->counters().hash_operations += 1;
+    const uint64_t hash = HashTupleColumns(t, outer_keys_);
+    MAGICDB_RETURN_IF_ERROR(grace_->AddProbeRow(hash, t, ctx_));
+  }
+  return grace_->FinishProbe(ctx_);
+}
+
 Status HashJoinOp::Next(Tuple* out, bool* eof) {
+  if (grace_ != nullptr) {
+    if (!probe_spilled_) {
+      MAGICDB_RETURN_IF_ERROR(DrainProbeToSpill());
+      probe_spilled_ = true;
+    }
+    return grace_->NextOutput(out, eof, ctx_);
+  }
   while (true) {
     if (!have_outer_) {
       bool outer_eof = false;
@@ -250,8 +308,8 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
           probe_bytes_pending_ += TupleByteWidth(current_outer_);
           while (probe_bytes_pending_ >= CostConstants::kPageSizeBytes) {
             probe_bytes_pending_ -= CostConstants::kPageSizeBytes;
-            ctx_->counters().pages_written += 1;
-            ctx_->counters().pages_read += 1;
+            ctx_->counters().pages_written += spill_passes_;
+            ctx_->counters().pages_read += spill_passes_;
           }
         }
       }
@@ -294,6 +352,7 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
 
 Status HashJoinOp::Close() {
   build_.clear();
+  grace_.reset();
   if (ctx_ != nullptr) {
     ctx_->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;

@@ -10,6 +10,7 @@
 #include "src/exec/scan_ops.h"
 #include "src/expr/expr.h"
 #include "src/parallel/partitioned_build.h"
+#include "src/spill/grace_hash_join.h"
 #include "src/storage/index.h"
 #include "src/storage/table.h"
 
@@ -108,6 +109,10 @@ class HashJoinOp final : public Operator {
   }
 
  private:
+  /// Grace path: drains the entire outer child into the probe partitions
+  /// (tagging rows with their probe sequence) and runs the partition joins.
+  Status DrainProbeToSpill();
+
   OpPtr outer_;
   OpPtr inner_;
   std::vector<int> outer_keys_;
@@ -120,12 +125,22 @@ class HashJoinOp final : public Operator {
   size_t bucket_pos_ = 0;
   bool have_outer_ = false;
   // Grace partitioning accounting: when the build side exceeds the memory
-  // budget, both inputs pay one write+read partitioning pass.
+  // budget, both inputs pay the predicted number of write+read partitioning
+  // passes (SpillPasses of the build size over the budget).
   bool spilled_ = false;
+  int64_t spill_passes_ = 1;
   int64_t probe_bytes_pending_ = 0;
   // Bytes this replica charged to the query memory tracker for retained
   // build rows (local table or shared staging); released on Close.
   int64_t charged_bytes_ = 0;
+  // Actual out-of-core execution, engaged when the build breaches the
+  // query's hard memory limit and spilling is enabled (sequential mode
+  // only; a governed parallel query degrades to the sequential spill path
+  // at the service layer). Replaces the budget heuristic above: real page
+  // I/O is charged by the spill files instead.
+  std::unique_ptr<GraceHashJoin> grace_;
+  bool probe_spilled_ = false;
+  int64_t probe_rows_seen_ = 0;
   // Parallel (shared partitioned) build wiring; null in sequential mode.
   std::shared_ptr<SharedHashBuild> shared_build_;
   int worker_ = 0;

@@ -56,7 +56,10 @@ double Sort(double rows, int64_t width_bytes, int64_t memory_budget_bytes) {
       CostConstants::kCpuExprCost * rows * std::ceil(std::log2(rows));
   const double bytes = rows * static_cast<double>(width_bytes);
   if (bytes > static_cast<double>(memory_budget_bytes)) {
-    cost += 2.0 * Estimate::PagesForRowsD(rows, width_bytes);
+    // One full write + read of the data per expected external merge pass.
+    const double passes = static_cast<double>(
+        SpillPasses(bytes, static_cast<double>(memory_budget_bytes)));
+    cost += 2.0 * passes * Estimate::PagesForRowsD(rows, width_bytes);
   }
   return cost;
 }
@@ -105,8 +108,24 @@ double HashSpill(double build_rows, int64_t build_width, double probe_rows,
                  int64_t probe_width, int64_t memory_budget_bytes) {
   const double build_bytes = build_rows * static_cast<double>(build_width);
   if (build_bytes <= static_cast<double>(memory_budget_bytes)) return 0.0;
-  return 2.0 * (Estimate::PagesForRowsD(build_rows, build_width) +
-                Estimate::PagesForRowsD(probe_rows, probe_width));
+  // Both inputs are rewritten once per recursive partitioning pass (the
+  // passes Grace hash partitioning needs to shrink each build partition
+  // under budget at the configured fanout).
+  const double passes = static_cast<double>(
+      SpillPasses(build_bytes, static_cast<double>(memory_budget_bytes)));
+  return 2.0 * passes * (Estimate::PagesForRowsD(build_rows, build_width) +
+                         Estimate::PagesForRowsD(probe_rows, probe_width));
+}
+
+double AggregateSpill(double input_rows, int64_t width_bytes,
+                      int64_t memory_budget_bytes) {
+  const double bytes = input_rows * static_cast<double>(width_bytes);
+  if (bytes <= static_cast<double>(memory_budget_bytes)) return 0.0;
+  // Partitioning passes when the aggregation input exceeds memory (mirrors
+  // the executor's Grace-style charge).
+  const double passes = static_cast<double>(
+      SpillPasses(bytes, static_cast<double>(memory_budget_bytes)));
+  return 2.0 * passes * Estimate::PagesForRowsD(input_rows, width_bytes);
 }
 
 }  // namespace costs

@@ -57,8 +57,9 @@ double HashProbe(double probes, double out_rows, int dop = 1);
 double HashAggregate(double input_rows, double exprs, double groups,
                      int dop = 1);
 
-/// In-memory sort of `rows` (n log2 n comparisons) plus one external pass
-/// if the data exceeds `memory_budget_bytes`.
+/// In-memory sort of `rows` (n log2 n comparisons) plus the expected
+/// external merge passes (write + read each) if the data exceeds
+/// `memory_budget_bytes`.
 double Sort(double rows, int64_t width_bytes, int64_t memory_budget_bytes);
 
 /// Per-tuple CPU for passing `rows` through an operator.
@@ -85,10 +86,17 @@ double RemoteProbe(double key_bytes, double matches, int64_t row_width);
 double FunctionInvoke(double invocations);
 
 /// Extra cost of a hash join whose build side exceeds the memory budget:
-/// one Grace partitioning pass (write + read) over both inputs. Zero when
-/// the build fits.
+/// the expected Grace partitioning passes (write + read each) over both
+/// inputs, where each pass divides partitions by the spill fanout. Zero
+/// when the build fits.
 double HashSpill(double build_rows, int64_t build_width, double probe_rows,
                  int64_t probe_width, int64_t memory_budget_bytes);
+
+/// Extra cost of a hash aggregation whose input exceeds the memory budget:
+/// the expected partitioning passes (write + read each) over the input.
+/// Zero when the input fits.
+double AggregateSpill(double input_rows, int64_t width_bytes,
+                      int64_t memory_budget_bytes);
 
 }  // namespace costs
 

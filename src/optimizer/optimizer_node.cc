@@ -339,13 +339,8 @@ StatusOr<Planned> Optimizer::Impl::PlanAggregate(const LogicalPtr& node,
                    child.est.rows,
                    child.est.rows * static_cast<double>(ng + agg->aggs().size()),
                    groups, options_->degree_of_parallelism);
-  // Partitioning pass when the aggregation input exceeds memory (mirrors
-  // the executor's Grace-style charge).
-  if (child.est.rows * static_cast<double>(child.est.width_bytes) >
-      static_cast<double>(options_->memory_budget_bytes)) {
-    p.est.cost += 2.0 * Estimate::PagesForRowsD(child.est.rows,
-                                                child.est.width_bytes);
-  }
+  p.est.cost += costs::AggregateSpill(child.est.rows, child.est.width_bytes,
+                                      options_->memory_budget_bytes);
   p.distinct.resize(p.schema.num_columns());
   for (size_t i = 0; i < ng; ++i) {
     const Expr* g = agg->group_by()[i].get();

@@ -14,6 +14,8 @@
 #include "src/parallel/partitioned_aggregate.h"
 #include "src/parallel/partitioned_build.h"
 #include "src/parallel/thread_pool.h"
+#include "src/spill/row_serde.h"
+#include "src/spill/spill_manager.h"
 
 namespace magicdb {
 
@@ -110,17 +112,48 @@ std::shared_ptr<MorselSource> MakeSourceFor(const SeqScanOp* scan) {
       t->NumRows(), RowsPerPage(t->schema().TupleWidthBytes()));
 }
 
+/// Flushes the run's accumulated in-memory rows to its gather spill file
+/// (created on first use, charging disabled: gather staging is bookkeeping,
+/// not query work). Arrival order is rank order, so the file stays sorted.
+Status FlushGatherRows(GatherRun* run, ExecContext* ctx,
+                       std::string* scratch) {
+  if (run->spilled == nullptr) {
+    run->spilled = std::make_unique<SpillFile>(ctx->spill_manager().get(),
+                                               "gather",
+                                               /*charge_cost=*/false);
+  }
+  for (const GatherRow& r : run->rows) {
+    scratch->clear();
+    spill::AppendI64(scratch, r.pos);
+    spill::AppendI64(scratch, r.sub);
+    spill::AppendTuple(scratch, r.row);
+    MAGICDB_RETURN_IF_ERROR(run->spilled->Append(*scratch, ctx));
+  }
+  run->rows.clear();
+  return Status::OK();
+}
+
 /// Opens, drains, and closes one replica, tagging every output row with the
 /// sequential-order rank the gather merge sorts by: the aggregate's group
 /// first-seen (pos, sub) when the pipeline aggregates, else the global
 /// driving-scan position.
 Status RunPipeline(Operator* root, const ReplicaShape& shape,
-                   ExecContext* ctx, std::vector<GatherRow>* run) {
+                   ExecContext* ctx, GatherRun* run) {
   MAGICDB_RETURN_IF_ERROR(root->Open(ctx));
+  int64_t staged_charged = 0;
+  int64_t rows_staged = 0;
+  std::string scratch;
+  // Releases the staged-row charges on an error unwind; a successful drain
+  // keeps them charged until the gather stream is consumed.
+  auto fail = [&](Status st) {
+    ctx->ReleaseMemory(staged_charged);
+    return st;
+  };
   while (true) {
     Tuple t;
     bool eof = false;
-    MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
+    Status st = root->Next(&t, &eof);
+    if (!st.ok()) return fail(std::move(st));
     if (eof) break;
     int64_t pos = 0;
     int64_t sub = 0;
@@ -135,16 +168,50 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
     if (ctx->memory_tracker() != nullptr) {
       // Staged gather rows live until the merged stream is drained, so
       // they count against the query's limit like any retained state.
-      MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(TupleByteWidth(t)));
+      const int64_t row_bytes = TupleByteWidth(t);
+      Status charge = ctx->ChargeMemory(row_bytes);
+      if (!charge.ok()) {
+        if (charge.code() != StatusCode::kResourceExhausted ||
+            !ctx->spill_enabled()) {
+          return fail(std::move(charge));
+        }
+        // Flush the staged rows to this worker's gather spill file and
+        // release their memory; the tail restarts empty.
+        Status fs = FlushGatherRows(run, ctx, &scratch);
+        if (!fs.ok()) return fail(std::move(fs));
+        ctx->ReleaseMemory(staged_charged);
+        staged_charged = 0;
+        Status retry = ctx->ChargeMemory(row_bytes);
+        if (!retry.ok()) return retry;
+      }
+      staged_charged += row_bytes;
     }
-    run->push_back({pos, sub, std::move(t)});
+    run->rows.push_back({pos, sub, std::move(t)});
     // Morsel-loop cancellation checkpoint (the driving scan also checks at
     // every morsel claim; this covers probe-heavy plans between claims).
-    if ((run->size() & 1023) == 0) {
-      MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+    if ((++rows_staged & 1023) == 0) {
+      Status cc = ctx->CheckCancelled();
+      if (!cc.ok()) return fail(std::move(cc));
     }
   }
-  return root->Close();
+  if (run->spilled != nullptr) {
+    // Once a run has spilled, flush its in-memory tail too and drop the
+    // staged charges: a spilled run must not pin staged rows against the
+    // tracker while the gather stream drains, because the result sink
+    // charges its queued batches against the same limit during streaming.
+    Status fs = FlushGatherRows(run, ctx, &scratch);
+    if (!fs.ok()) return fail(std::move(fs));
+    ctx->ReleaseMemory(staged_charged);
+    staged_charged = 0;
+    Status fin = run->spilled->FinishWrite(ctx);
+    if (!fin.ok()) return fail(std::move(fin));
+    // Informational: lets the service see that this query spilled (page
+    // I/O is deliberately not charged — see FlushGatherRows).
+    ctx->counters().spill_bytes_written += run->spilled->bytes();
+  }
+  Status cs = root->Close();
+  if (!cs.ok()) return fail(std::move(cs));
+  return Status::OK();
 }
 
 /// Fallback outcome: nothing has executed; the caller pumps replicas[0].
@@ -292,7 +359,7 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
   };
 
   std::vector<ExecContext> contexts(dop_);
-  std::vector<std::vector<GatherRow>> runs(dop_);
+  std::vector<GatherRun> runs(dop_);
   const auto worker_fn = [&](int w) -> Status {
     // Gang-startup fault site. It lives here rather than in
     // ThreadPool::RunGang so a fired injection still runs the abort path:
@@ -305,6 +372,7 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
     contexts[w].set_cancel_token(options.cancel_token);
     contexts[w].set_memory_budget_bytes(memory_budget_bytes);
     contexts[w].set_memory_tracker(options.memory_tracker);
+    contexts[w].set_spill_manager(options.spill_manager);
     Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
                             &runs[w]);
     if (!st.ok()) abort_all(st);

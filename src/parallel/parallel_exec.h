@@ -14,6 +14,7 @@
 
 namespace magicdb {
 
+class SpillManager;
 class ThreadPool;
 
 /// Execution environment for one ParallelExecutor::Run call.
@@ -33,6 +34,11 @@ struct ParallelRunOptions {
   /// Per-query memory governor shared by every worker's ExecContext (and by
   /// the caller's result sink); null = ungoverned.
   std::shared_ptr<MemoryTracker> memory_tracker;
+
+  /// Spill area threaded into every worker's ExecContext; with a governed
+  /// query this lets workers flush staged gather rows to disk instead of
+  /// failing the gang on a memory breach. Null = no spilling.
+  std::shared_ptr<SpillManager> spill_manager;
 };
 
 /// Outcome of one (possibly parallel) pipeline execution.

@@ -82,11 +82,14 @@ Status SharedAggregate::MergeOwnPartition(int worker, ExecContext* ctx,
     const int64_t input_bytes =
         total_input_bytes_.load(std::memory_order_relaxed);
     if (input_bytes > memory_budget_bytes_) {
+      const int64_t passes =
+          SpillPasses(static_cast<double>(input_bytes),
+                      static_cast<double>(memory_budget_bytes_));
       const int64_t pages =
           (input_bytes + CostConstants::kPageSizeBytes - 1) /
           CostConstants::kPageSizeBytes;
-      ctx->counters().pages_written += pages;
-      ctx->counters().pages_read += pages;
+      ctx->counters().pages_written += pages * passes;
+      ctx->counters().pages_read += pages * passes;
     }
   }
   return Status::OK();

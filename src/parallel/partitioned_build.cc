@@ -84,11 +84,16 @@ Status SharedHashBuild::FinishStaging(int worker, ExecContext* ctx) {
         total_build_bytes_.load(std::memory_order_relaxed);
     if (build_bytes > memory_budget_bytes_) {
       spilled_ = true;
+      spill_passes_.store(
+          SpillPasses(static_cast<double>(build_bytes),
+                      static_cast<double>(memory_budget_bytes_)),
+          std::memory_order_relaxed);
       const int64_t build_pages =
           (build_bytes + CostConstants::kPageSizeBytes - 1) /
           CostConstants::kPageSizeBytes;
-      ctx->counters().pages_written += build_pages;
-      ctx->counters().pages_read += build_pages;
+      const int64_t passes = spill_passes_.load(std::memory_order_relaxed);
+      ctx->counters().pages_written += build_pages * passes;
+      ctx->counters().pages_read += build_pages * passes;
     }
   }
   return built_barrier_.ArriveAndWait();
@@ -107,8 +112,9 @@ void SharedHashBuild::ChargeProbeBytes(ExecContext* ctx, int64_t bytes) {
       (before + bytes) / CostConstants::kPageSizeBytes -
       before / CostConstants::kPageSizeBytes;
   if (pages > 0) {
-    ctx->counters().pages_written += pages;
-    ctx->counters().pages_read += pages;
+    const int64_t passes = spill_passes_.load(std::memory_order_relaxed);
+    ctx->counters().pages_written += pages * passes;
+    ctx->counters().pages_read += pages * passes;
   }
 }
 

@@ -105,6 +105,10 @@ class SharedHashBuild {
   std::atomic<int64_t> total_build_bytes_{0};
   std::atomic<int64_t> probe_bytes_{0};
   bool spilled_ = false;
+  // Predicted Grace partitioning passes; probe-side page charges are
+  // multiplied by it (set once behind the staging barrier, read by every
+  // prober).
+  std::atomic<int64_t> spill_passes_{1};
   CancellableBarrier staged_barrier_;
   CancellableBarrier built_barrier_;
 };

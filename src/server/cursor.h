@@ -131,6 +131,15 @@ class Cursor {
   int64_t peak_buffered_rows() const;
   int64_t producer_parks() const;
 
+  /// Peak bytes the per-query memory governor ever had charged (0 when the
+  /// query ran ungoverned). The governor rejects any charge that would
+  /// exceed the limit, so this never exceeds it — spilling included.
+  int64_t memory_peak_bytes() const {
+    return state_->memory_tracker != nullptr
+               ? state_->memory_tracker->peak_bytes()
+               : 0;
+  }
+
   /// Cancels remaining production, drains the queue, releases the query's
   /// admission ticket. Idempotent; later calls return the same terminal
   /// status (OK only when the stream was fully consumed to end-of-stream

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "src/common/random.h"
 #include "src/exec/exec_context.h"
 #include "src/parallel/parallel_exec.h"
+#include "src/spill/spill_manager.h"
 
 namespace magicdb {
 
@@ -98,6 +100,12 @@ std::string ServiceStats::ToString() const {
   for (const auto& [reason, count] : parallel_fallback_reasons) {
     os << " fallback[" << reason << "]=" << count;
   }
+  os << " spill_written=" << spill_bytes_written
+     << " spill_read=" << spill_bytes_read
+     << " spill_files=" << spill_files_created
+     << " spill_partitions=" << spill_partitions_opened
+     << " spill_depth_max=" << spill_recursion_depth_max
+     << " spilled_queries=" << spilled_queries;
   return os.str();
 }
 
@@ -120,6 +128,27 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   }
   if (options_.stream_queue_rows <= 0) {
     options_.stream_queue_rows = 8192;
+  }
+  // Test hooks: a build-script sweep can impose a low default memory limit
+  // and a spill area on every service in the process without touching call
+  // sites. Honored only where the construction options left the default.
+  if (options_.query_memory_limit_bytes == 0) {
+    if (const char* env = std::getenv("MAGICDB_TEST_QUERY_MEMORY_LIMIT")) {
+      options_.query_memory_limit_bytes = std::strtoll(env, nullptr, 10);
+    }
+  }
+  if (options_.spill_dir.empty()) {
+    if (const char* env = std::getenv("MAGICDB_TEST_SPILL_DIR")) {
+      options_.spill_dir = env;
+    }
+  }
+  if (!options_.spill_dir.empty()) {
+    SpillConfig spill_config;
+    spill_config.dir = options_.spill_dir;
+    if (options_.spill_batch_bytes > 0) {
+      spill_config.batch_bytes = options_.spill_batch_bytes;
+    }
+    spill_manager_ = std::make_shared<SpillManager>(spill_config);
   }
 
   queries_submitted_ =
@@ -151,6 +180,14 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   cursor_parks_ =
       metrics_.counter("magicdb_server_cursor_producer_parks_total");
   cursors_stale_ = metrics_.counter("magicdb_server_cursors_stale_total");
+  spill_bytes_written_ = metrics_.counter("magicdb_spill_bytes_written_total");
+  spill_bytes_read_ = metrics_.counter("magicdb_spill_bytes_read_total");
+  spill_files_created_ = metrics_.counter("magicdb_spill_files_created_total");
+  spill_partitions_opened_ =
+      metrics_.counter("magicdb_spill_partitions_opened_total");
+  spill_recursion_depth_max_ =
+      metrics_.counter("magicdb_spill_recursion_depth_max");
+  spilled_queries_ = metrics_.counter("magicdb_spill_queries_total");
   admission_wait_us_ = metrics_.histogram("magicdb_server_admission_wait_us");
   query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
   cursor_batch_wait_us_ =
@@ -172,6 +209,9 @@ std::unique_ptr<Session> QueryService::CreateSession() {
 
 Status QueryService::Execute(const std::string& ddl) {
   std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  // Injected fault models DDL failing after it serialized against queries
+  // but before any catalog mutation; cached plans must stay valid.
+  MAGICDB_FAILPOINT("server.ddl.execute");
   return db_->Execute(ddl);
 }
 
@@ -457,6 +497,14 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     producer->ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
     producer->ctx.set_cancel_token(token);
     producer->ctx.set_memory_tracker(state->memory_tracker);
+    // Out-of-core degradation is offered only to governed queries that did
+    // not opt out, and only when the service has a spill area. An
+    // ungoverned query never breaches, so the manager would be inert.
+    const bool spill_active = spill_manager_ != nullptr && exec.allow_spill &&
+                              state->memory_tracker != nullptr;
+    if (spill_active) {
+      producer->ctx.set_spill_manager(spill_manager_);
+    }
 
     if (effective_dop > 1) {
       // Mirror Database::ExecuteParallel on the shared pool: plan
@@ -480,10 +528,33 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       run_options.shared_pool = pool_.get();
       run_options.cancel_token = token;
       run_options.memory_tracker = state->memory_tracker;
-      MAGICDB_ASSIGN_OR_RETURN(
-          StagedStream staged,
-          executor.RunStaged(std::move(replicas), opts.memory_budget_bytes,
-                             run_options));
+      if (spill_active) run_options.spill_manager = spill_manager_;
+      StatusOr<StagedStream> staged_or = executor.RunStaged(
+          std::move(replicas), opts.memory_budget_bytes, run_options);
+      if (!staged_or.ok() &&
+          staged_or.status().code() == StatusCode::kResourceExhausted &&
+          spill_active) {
+        // The gang breached the limit in a spot the parallel operators
+        // cannot spill from (e.g. a shared build): degrade to sequential
+        // out-of-core execution instead of failing. Nothing has streamed
+        // yet, and the failed gang may have unwound with charges still on
+        // the tracker, so the retry gets a fresh governor.
+        state->memory_tracker = std::make_shared<MemoryTracker>(memory_limit);
+        state->sink.set_memory_tracker(state->memory_tracker);
+        producer->ctx.set_memory_tracker(state->memory_tracker);
+        MAGICDB_ASSIGN_OR_RETURN(PlannedSelect sequential,
+                                 db_->PlanBound(meta.bound, opts));
+        producer->tree = std::move(sequential.root);
+        producer->check_epoch = true;
+        state->used_dop = 1;
+        state->parallel_fallback_reason =
+            "memory pressure: degraded to sequential spill";
+        RecordParallelFallback(state->parallel_fallback_reason);
+        SubmitProducer(producer);
+        return Cursor(state);
+      }
+      MAGICDB_RETURN_IF_ERROR(staged_or.status());
+      StagedStream staged = std::move(*staged_or);
       producer->tree = std::move(staged.stream_root);
       if (staged.staged) {
         // Gang already ran; the gather drain performs no query work, so
@@ -598,6 +669,10 @@ Status QueryService::CloseCursor(CursorState* cursor) {
   if (cursor->memory_tracker != nullptr) {
     query_memory_bytes_->Observe(cursor->memory_tracker->peak_bytes());
   }
+  if (spill_manager_ != nullptr &&
+      cursor->final_counters.spill_bytes_written > 0) {
+    spill_manager_->NoteQuerySpilled();
+  }
   query_latency_us_->Observe(ElapsedUs(cursor->start_time));
   open_cursors_->Add(-1);
   ReleaseTicket();
@@ -686,8 +761,22 @@ void QueryService::RecordParallelFallback(const std::string& reason) {
       ->Increment();
 }
 
+void QueryService::SyncSpillMetrics() const {
+  if (spill_manager_ == nullptr) return;
+  // The spill atomics live on the SpillManager (operators bump them off the
+  // metrics hot path); mirror them into the registry on read, like the
+  // pool's steal count.
+  spill_bytes_written_->Set(spill_manager_->bytes_written());
+  spill_bytes_read_->Set(spill_manager_->bytes_read());
+  spill_files_created_->Set(spill_manager_->files_created());
+  spill_partitions_opened_->Set(spill_manager_->partitions_opened());
+  spill_recursion_depth_max_->Set(spill_manager_->max_recursion_depth_seen());
+  spilled_queries_->Set(spill_manager_->spilled_queries());
+}
+
 ServiceStats QueryService::StatsSnapshot() const {
   morsels_stolen_->Set(pool_->steal_count());
+  SyncSpillMetrics();
   ServiceStats s;
   s.pool_threads = pool_->size();
   s.queries_submitted = queries_submitted_->Value();
@@ -715,6 +804,12 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.cursor_producer_parks = cursor_parks_->Value();
   s.cursors_stale = cursors_stale_->Value();
   s.parallel_fallbacks = parallel_fallbacks_->Value();
+  s.spill_bytes_written = spill_bytes_written_->Value();
+  s.spill_bytes_read = spill_bytes_read_->Value();
+  s.spill_files_created = spill_files_created_->Value();
+  s.spill_partitions_opened = spill_partitions_opened_->Value();
+  s.spill_recursion_depth_max = spill_recursion_depth_max_->Value();
+  s.spilled_queries = spilled_queries_->Value();
   const std::string prefix = kFallbackMetricPrefix;
   for (const auto& [name, value] : metrics_.CounterValues()) {
     if (name.size() > prefix.size() + 1 &&
@@ -736,6 +831,7 @@ ServiceStats QueryService::StatsSnapshot() const {
 
 std::string QueryService::MetricsText() const {
   morsels_stolen_->Set(pool_->steal_count());
+  SyncSpillMetrics();
   std::string text = metrics_.TextDump();
 #ifdef MAGICDB_FAILPOINTS
   // Failpoint builds export per-site fire counts so chaos runs can assert

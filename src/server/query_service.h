@@ -26,6 +26,7 @@ namespace magicdb {
 /// Control block of one cursor's producing pipeline (defined in the .cc);
 /// successive pump quanta on the shared pool hand it to each other.
 struct StreamProducer;
+class SpillManager;
 
 /// Construction-time knobs of a QueryService.
 struct QueryServiceOptions {
@@ -59,6 +60,18 @@ struct QueryServiceOptions {
   /// A query breaching it fails with kResourceExhausted. 0 = ungoverned.
   /// Per-query override: ExecOptions::memory_limit_bytes.
   int64_t query_memory_limit_bytes = 0;
+
+  /// Directory for spill temp files. When set, a governed query that
+  /// breaches its memory limit degrades to out-of-core execution (Grace
+  /// hash join, hybrid hash aggregation, external merge sort) instead of
+  /// failing — unless the query opts out with ExecOptions::allow_spill =
+  /// false. Empty (the default) disables spilling entirely.
+  std::string spill_dir;
+
+  /// Write/read batch size of one spill file (bytes); bounds per-file
+  /// buffer memory, which is itself charged to the query. 0 = the
+  /// SpillConfig default.
+  int64_t spill_batch_bytes = 0;
 };
 
 /// Point-in-time view of the service counters (see also MetricsText()).
@@ -93,6 +106,15 @@ struct ServiceStats {
   /// shows up here instead of silently shifting latencies.
   int64_t parallel_fallbacks = 0;
   std::map<std::string, int64_t> parallel_fallback_reasons;
+  /// Spill subsystem totals (magicdb_spill_*): bytes moved through spill
+  /// files, files/partitions created, deepest recursive partitioning level
+  /// seen, and queries that actually spilled.
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  int64_t spill_files_created = 0;
+  int64_t spill_partitions_opened = 0;
+  int64_t spill_recursion_depth_max = 0;
+  int64_t spilled_queries = 0;
   /// Live admission state: tickets currently held (admitted queries and
   /// open cursors) and gang slots reserved by running parallel gangs. Both
   /// must return to zero when every cursor is closed — the invariant the
@@ -239,10 +261,18 @@ class QueryService {
   /// (`magicdb_server_parallel_fallbacks_total{reason=...}`).
   void RecordParallelFallback(const std::string& reason);
 
+  /// Copies the SpillManager's atomics into the magicdb_spill_* mirror
+  /// counters (no-op without a spill area).
+  void SyncSpillMetrics() const;
+
   Database* db_;
   QueryServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   PlanCache plan_cache_;
+
+  /// Shared spill area for every governed query; null when
+  /// QueryServiceOptions::spill_dir is empty (spilling disabled).
+  std::shared_ptr<SpillManager> spill_manager_;
 
   /// DDL/loads hold this exclusive; planning and every producer quantum
   /// hold it shared (a quantum, not a query, is the read-side critical
@@ -281,6 +311,15 @@ class QueryService {
   Counter* rows_streamed_;
   Counter* cursor_parks_;
   Counter* cursors_stale_;
+  // Spill series: mirrors of the SpillManager atomics (set, not
+  // incremented, in StatsSnapshot/MetricsText) plus the spilled-query
+  // count the service tracks itself at cursor close.
+  Counter* spill_bytes_written_;
+  Counter* spill_bytes_read_;
+  Counter* spill_files_created_;
+  Counter* spill_partitions_opened_;
+  Counter* spill_recursion_depth_max_;
+  Counter* spilled_queries_;
   LatencyHistogram* admission_wait_us_;
   LatencyHistogram* query_latency_us_;
   LatencyHistogram* cursor_batch_wait_us_;

@@ -50,6 +50,13 @@ struct ExecOptions {
   /// (QueryServiceOptions::query_memory_limit_bytes); negative = explicitly
   /// ungoverned regardless of the service default.
   int64_t memory_limit_bytes = 0;
+
+  /// Whether this query may degrade to out-of-core execution (Grace hash
+  /// join, hybrid hash aggregation, external merge sort) when it breaches
+  /// its memory limit. Effective only when the service has a spill area
+  /// (QueryServiceOptions::spill_dir); false keeps the hard
+  /// kResourceExhausted failure even then.
+  bool allow_spill = true;
 };
 
 /// One client's connection to a QueryService: per-session optimizer

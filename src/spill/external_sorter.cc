@@ -1,0 +1,143 @@
+#include "src/spill/external_sorter.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/exec/exec_context.h"
+#include "src/spill/row_serde.h"
+
+namespace magicdb {
+
+ExternalSorter::ExternalSorter(std::shared_ptr<SpillManager> mgr,
+                               std::vector<bool> ascending)
+    : mgr_(std::move(mgr)), ascending_(std::move(ascending)) {}
+
+int ExternalSorter::CompareKeys(const Tuple& a, const Tuple& b) const {
+  for (size_t k = 0; k < ascending_.size(); ++k) {
+    const int c = a[k].Compare(b[k]);
+    if (c != 0) return ascending_[k] ? c : -c;
+  }
+  return 0;
+}
+
+void ExternalSorter::SortIndexes(const std::vector<Tuple>& keys,
+                                 std::vector<int64_t>* order) const {
+  order->resize(keys.size());
+  for (size_t i = 0; i < order->size(); ++i) {
+    (*order)[i] = static_cast<int64_t>(i);
+  }
+  std::sort(order->begin(), order->end(), [&](int64_t a, int64_t b) {
+    const int c = CompareKeys(keys[a], keys[b]);
+    if (c != 0) return c < 0;
+    return a < b;  // stable tiebreak: input order
+  });
+}
+
+Status ExternalSorter::SpillRun(std::vector<Tuple>* rows,
+                                std::vector<Tuple>* keys, int64_t base_seq,
+                                int64_t* charged_bytes, ExecContext* ctx) {
+  MAGICDB_CHECK(rows->size() == keys->size());
+  // Release the buffered rows' charge before reserving the write buffer:
+  // the breach that triggered this flush left the tracker full, and the
+  // rows stream out of memory as the run is written.
+  ctx->ReleaseMemory(*charged_bytes);
+  *charged_bytes = 0;
+  // One write buffer lives while the run streams out.
+  SpillReservation run_reservation;
+  MAGICDB_RETURN_IF_ERROR(
+      run_reservation.Acquire(ctx, mgr_->config().batch_bytes));
+  std::vector<int64_t> order;
+  SortIndexes(*keys, &order);
+  auto file = std::make_unique<SpillFile>(mgr_.get(), "sort-run");
+  for (int64_t i : order) {
+    scratch_.clear();
+    spill::AppendI64(&scratch_, base_seq + i);
+    spill::AppendTuple(&scratch_, (*keys)[i]);
+    spill::AppendTuple(&scratch_, (*rows)[i]);
+    MAGICDB_RETURN_IF_ERROR(file->Append(scratch_, ctx));
+  }
+  MAGICDB_RETURN_IF_ERROR(file->FinishWrite(ctx));
+  RunCursor run;
+  run.file = std::move(file);
+  runs_.push_back(std::move(run));
+  rows->clear();
+  keys->clear();
+  return Status::OK();
+}
+
+Status ExternalSorter::FinishInput(std::vector<Tuple> rows,
+                                   std::vector<Tuple> keys, int64_t base_seq,
+                                   ExecContext* ctx) {
+  std::vector<int64_t> order;
+  SortIndexes(keys, &order);
+  mem_rows_.reserve(rows.size());
+  mem_keys_.reserve(keys.size());
+  mem_seqs_.reserve(order.size());
+  for (int64_t i : order) {
+    mem_rows_.push_back(std::move(rows[i]));
+    mem_keys_.push_back(std::move(keys[i]));
+    mem_seqs_.push_back(base_seq + i);
+  }
+  mem_pos_ = 0;
+  MAGICDB_RETURN_IF_ERROR(merge_reservation_.Acquire(
+      ctx, static_cast<int64_t>(runs_.size()) * mgr_->config().batch_bytes));
+  for (RunCursor& run : runs_) {
+    MAGICDB_RETURN_IF_ERROR(run.file->Rewind());
+    MAGICDB_RETURN_IF_ERROR(AdvanceRun(&run, ctx));
+  }
+  merge_ready_ = true;
+  return Status::OK();
+}
+
+Status ExternalSorter::AdvanceRun(RunCursor* run, ExecContext* ctx) {
+  std::string_view record;
+  bool has = false;
+  MAGICDB_RETURN_IF_ERROR(run->file->NextRecord(&record, &has, ctx));
+  if (!has) {
+    run->has = false;
+    return Status::OK();
+  }
+  spill::RecordReader reader(record.data(), record.size());
+  MAGICDB_RETURN_IF_ERROR(reader.ReadI64(&run->seq));
+  MAGICDB_RETURN_IF_ERROR(reader.ReadTuple(&run->key));
+  MAGICDB_RETURN_IF_ERROR(reader.ReadTuple(&run->row));
+  run->has = true;
+  return Status::OK();
+}
+
+Status ExternalSorter::Next(Tuple* out, bool* eof, ExecContext* ctx) {
+  MAGICDB_CHECK(merge_ready_);
+  RunCursor* best = nullptr;
+  for (RunCursor& run : runs_) {
+    if (!run.has) continue;
+    if (best == nullptr) {
+      best = &run;
+      continue;
+    }
+    const int c = CompareKeys(run.key, best->key);
+    if (c < 0 || (c == 0 && run.seq < best->seq)) best = &run;
+  }
+  const bool mem_left = mem_pos_ < mem_rows_.size();
+  if (mem_left) {
+    bool take_mem = best == nullptr;
+    if (!take_mem) {
+      const int c = CompareKeys(mem_keys_[mem_pos_], best->key);
+      take_mem = c < 0 || (c == 0 && mem_seqs_[mem_pos_] < best->seq);
+    }
+    if (take_mem) {
+      *out = std::move(mem_rows_[mem_pos_++]);
+      *eof = false;
+      return Status::OK();
+    }
+  }
+  if (best == nullptr) {
+    *eof = true;
+    merge_reservation_.Release();
+    return Status::OK();
+  }
+  *out = std::move(best->row);
+  *eof = false;
+  return AdvanceRun(best, ctx);
+}
+
+}  // namespace magicdb

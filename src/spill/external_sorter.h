@@ -1,0 +1,84 @@
+#ifndef MAGICDB_SPILL_EXTERNAL_SORTER_H_
+#define MAGICDB_SPILL_EXTERNAL_SORTER_H_
+
+/// External merge sort for ORDER BY, engaged by SortOp when the buffered
+/// input breaches the query's memory limit and spilling is enabled.
+///
+/// Run formation: each time the buffer breaches, SpillRun() sorts it by
+/// (sort keys, input sequence) and writes one sorted run of
+/// (seq, key tuple, row) records — the computed key tuples travel with the
+/// rows so merging never re-evaluates sort expressions. The final buffer
+/// stays in memory as the resident run (FinishInput). Next() k-way merges
+/// all runs by (keys under their asc/desc flags, then input sequence) —
+/// the same comparator, including the stable input-order tiebreak, the
+/// in-memory sort uses, so spilled output is byte-identical to in-memory
+/// output.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/spill/spill_file.h"
+#include "src/spill/spill_manager.h"
+#include "src/types/tuple.h"
+
+namespace magicdb {
+
+class ExecContext;
+
+class ExternalSorter {
+ public:
+  ExternalSorter(std::shared_ptr<SpillManager> mgr,
+                 std::vector<bool> ascending);
+
+  /// Sorts the buffer (rows + their precomputed key tuples, whose global
+  /// input sequence starts at `base_seq`), writes it as one run, clears the
+  /// vectors and releases `*charged_bytes` from the tracker.
+  Status SpillRun(std::vector<Tuple>* rows, std::vector<Tuple>* keys,
+                  int64_t base_seq, int64_t* charged_bytes, ExecContext* ctx);
+
+  /// Registers the final buffer as the resident run (sorted in place, its
+  /// memory stays charged by the operator) and prepares the merge.
+  Status FinishInput(std::vector<Tuple> rows, std::vector<Tuple> keys,
+                     int64_t base_seq, ExecContext* ctx);
+
+  Status Next(Tuple* out, bool* eof, ExecContext* ctx);
+
+  int64_t file_runs() const { return static_cast<int64_t>(runs_.size()); }
+
+ private:
+  struct RunCursor {
+    std::unique_ptr<SpillFile> file;
+    bool has = false;
+    int64_t seq = 0;
+    Tuple key;
+    Tuple row;
+  };
+
+  /// (keys under asc flags, seq) — the in-memory comparator with the
+  /// stable tiebreak made explicit.
+  int CompareKeys(const Tuple& a, const Tuple& b) const;
+  void SortIndexes(const std::vector<Tuple>& keys,
+                   std::vector<int64_t>* order) const;
+  Status AdvanceRun(RunCursor* run, ExecContext* ctx);
+
+  const std::shared_ptr<SpillManager> mgr_;
+  const std::vector<bool> ascending_;
+
+  std::vector<RunCursor> runs_;
+  // Resident run, already sorted; seqs_ carries the input sequence for the
+  // cross-run tiebreak.
+  std::vector<Tuple> mem_rows_;
+  std::vector<Tuple> mem_keys_;
+  std::vector<int64_t> mem_seqs_;
+  size_t mem_pos_ = 0;
+  SpillReservation merge_reservation_;
+  bool merge_ready_ = false;
+  std::string scratch_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SPILL_EXTERNAL_SORTER_H_

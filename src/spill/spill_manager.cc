@@ -1,0 +1,48 @@
+#include "src/spill/spill_manager.h"
+
+#include <unistd.h>
+
+#include "src/exec/exec_context.h"
+
+namespace magicdb {
+
+std::string SpillManager::NextFilePath(const std::string& label) {
+  const uint64_t id = next_file_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string name = "magicdb-spill-" + std::to_string(getpid()) + "-" +
+                     std::to_string(id);
+  if (!label.empty()) name += "-" + label;
+  name += ".bin";
+  std::string path = config_.dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + name;
+}
+
+uint64_t SpillPartitionOf(uint64_t hash, int depth, int fanout) {
+  // splitmix64 finalizer over the hash remixed with a per-depth constant:
+  // partitions at depth d+1 are uncorrelated with the split at depth d.
+  uint64_t x = hash ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(depth + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x % static_cast<uint64_t>(fanout);
+}
+
+Status SpillReservation::Acquire(ExecContext* ctx, int64_t bytes) {
+  MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(bytes));
+  // Stack on top of any prior acquisition instead of requiring release-first.
+  if (ctx_ == nullptr) ctx_ = ctx;
+  bytes_ += bytes;
+  return Status::OK();
+}
+
+void SpillReservation::Release() {
+  if (ctx_ != nullptr && bytes_ > 0) {
+    ctx_->ReleaseMemory(bytes_);
+  }
+  bytes_ = 0;
+  ctx_ = nullptr;
+}
+
+}  // namespace magicdb

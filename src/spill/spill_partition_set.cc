@@ -1,0 +1,65 @@
+#include "src/spill/spill_partition_set.h"
+
+#include "src/common/failpoint.h"
+#include "src/common/logging.h"
+#include "src/exec/exec_context.h"
+
+namespace magicdb {
+
+SpillPartitionSet::SpillPartitionSet(SpillManager* mgr, std::string label,
+                                     int depth, bool charge_cost)
+    : mgr_(mgr),
+      label_(std::move(label)),
+      depth_(depth),
+      charge_cost_(charge_cost),
+      files_(mgr->config().fanout) {
+  mgr_->NoteRecursionDepth(depth);
+}
+
+Status SpillPartitionSet::Reserve(ExecContext* ctx) {
+  return reservation_.Acquire(
+      ctx, static_cast<int64_t>(files_.size()) * mgr_->config().batch_bytes);
+}
+
+Status SpillPartitionSet::Add(uint64_t hash, std::string_view record,
+                              ExecContext* ctx) {
+  return AddTo(PartitionFor(hash), record, ctx);
+}
+
+Status SpillPartitionSet::AddTo(int partition, std::string_view record,
+                                ExecContext* ctx) {
+  MAGICDB_CHECK(!finished_);
+  MAGICDB_CHECK(partition >= 0 && partition < fanout());
+  std::unique_ptr<SpillFile>& file = files_[partition];
+  if (file == nullptr) {
+    MAGICDB_FAILPOINT("spill.partition.open");
+    file = std::make_unique<SpillFile>(
+        mgr_, label_ + "-d" + std::to_string(depth_) + "-p" +
+                  std::to_string(partition),
+        charge_cost_);
+    mgr_->NotePartitionOpened();
+  }
+  return file->Append(record, ctx);
+}
+
+Status SpillPartitionSet::FinishWrites(ExecContext* ctx) {
+  for (std::unique_ptr<SpillFile>& file : files_) {
+    if (file != nullptr) {
+      MAGICDB_RETURN_IF_ERROR(file->FinishWrite(ctx));
+    }
+  }
+  finished_ = true;
+  reservation_.Release();
+  return Status::OK();
+}
+
+int64_t SpillPartitionSet::records(int partition) const {
+  return files_[partition] == nullptr ? 0 : files_[partition]->records();
+}
+
+std::unique_ptr<SpillFile> SpillPartitionSet::TakeFile(int partition) {
+  MAGICDB_CHECK(finished_);
+  return std::move(files_[partition]);
+}
+
+}  // namespace magicdb

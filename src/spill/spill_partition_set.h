@@ -1,0 +1,79 @@
+#ifndef MAGICDB_SPILL_SPILL_PARTITION_SET_H_
+#define MAGICDB_SPILL_SPILL_PARTITION_SET_H_
+
+/// One level of recursive hash partitioning: `fanout` lazily-created spill
+/// files, rows routed by SpillPartitionOf(hash, depth, fanout). Consumers
+/// (Grace join, hybrid aggregation) write records during the input pass,
+/// FinishWrites(), then take the per-partition files for processing — and
+/// recurse with a child set at depth+1 when a partition still exceeds the
+/// memory limit.
+///
+/// Memory: Reserve() charges fanout × batch_bytes of write-buffer memory to
+/// the query's tracker up front, so partitioning cannot silently consume
+/// ungoverned memory; the reservation is released when the set is destroyed
+/// or ReleaseReservation() is called (after FinishWrites, when write
+/// buffers are gone).
+///
+/// Failpoint: `spill.partition.open` fires when a partition's file is first
+/// created.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/spill/spill_file.h"
+#include "src/spill/spill_manager.h"
+
+namespace magicdb {
+
+class ExecContext;
+
+class SpillPartitionSet {
+ public:
+  SpillPartitionSet(SpillManager* mgr, std::string label, int depth,
+                    bool charge_cost = true);
+
+  int fanout() const { return static_cast<int>(files_.size()); }
+  int depth() const { return depth_; }
+
+  /// Charges the write-buffer budget for this set. Call once before Add.
+  Status Reserve(ExecContext* ctx);
+
+  int PartitionFor(uint64_t hash) const {
+    return static_cast<int>(
+        SpillPartitionOf(hash, depth_, static_cast<int>(files_.size())));
+  }
+
+  /// Routes one serialized record to the partition its hash selects.
+  Status Add(uint64_t hash, std::string_view record, ExecContext* ctx);
+
+  /// Appends one serialized record to a specific partition.
+  Status AddTo(int partition, std::string_view record, ExecContext* ctx);
+
+  /// Flushes and seals every partition file. Call once after the last Add.
+  Status FinishWrites(ExecContext* ctx);
+
+  void ReleaseReservation() { reservation_.Release(); }
+
+  int64_t records(int partition) const;
+
+  /// Transfers ownership of a sealed partition file; null when the
+  /// partition never received a record. Only after FinishWrites.
+  std::unique_ptr<SpillFile> TakeFile(int partition);
+
+ private:
+  SpillManager* const mgr_;
+  const std::string label_;
+  const int depth_;
+  const bool charge_cost_;
+  std::vector<std::unique_ptr<SpillFile>> files_;
+  SpillReservation reservation_;
+  bool finished_ = false;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_SPILL_SPILL_PARTITION_SET_H_

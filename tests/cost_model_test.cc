@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/common/cost_counters.h"
 #include "src/optimizer/cost_model.h"
 
 namespace magicdb {
@@ -39,7 +40,12 @@ TEST(CostsTest, SortChargesExternalPassOnlyOverBudget) {
   const double in_memory = costs::Sort(1000, 24, 1 << 20);
   const double external = costs::Sort(1000, 24, 1 << 10);
   EXPECT_GT(external, in_memory);
-  EXPECT_DOUBLE_EQ(external - in_memory, 2.0 * 6.0);
+  // Each merge pass rewrites and rereads the whole input; the number of
+  // passes follows the shared SpillPasses model (here 24000 bytes against
+  // a 1 KiB budget with fanout 8 needs two passes).
+  const int passes = SpillPasses(1000 * 24.0, 1 << 10);
+  EXPECT_EQ(passes, 2);
+  EXPECT_DOUBLE_EQ(external - in_memory, 2.0 * 6.0 * passes);
   EXPECT_DOUBLE_EQ(costs::Sort(1, 24, 1), 0.0);
 }
 
@@ -67,10 +73,14 @@ TEST(CostsTest, HashSpillZeroWhenFits) {
   EXPECT_DOUBLE_EQ(costs::HashSpill(100, 8, 1000, 8, 1 << 20), 0.0);
   const double spilled = costs::HashSpill(100000, 8, 1000, 8, 1 << 10);
   EXPECT_GT(spilled, 0.0);
-  // One write+read pass over both inputs.
+  // One write+read pass over both inputs per recursive partitioning pass
+  // of the build side (800 KB against a 1 KiB budget recurses 4 deep).
+  const int passes = SpillPasses(100000 * 8.0, 1 << 10);
+  EXPECT_EQ(passes, 4);
   EXPECT_DOUBLE_EQ(spilled,
-                   2.0 * (Estimate::PagesForRowsD(100000, 8) +
-                          Estimate::PagesForRowsD(1000, 8)));
+                   2.0 * passes *
+                       (Estimate::PagesForRowsD(100000, 8) +
+                        Estimate::PagesForRowsD(1000, 8)));
 }
 
 TEST(CostsTest, IndexProbeGrowsWithMatches) {
