@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Build gate for the concurrent subsystems (src/parallel, src/server):
+# Build gate for the concurrent subsystems (src/parallel, src/server) and
+# the vectorized execution path (MAGICDB_TEST_BATCH_SIZE sweeps rerun the
+# full suite tuple-at-a-time and at an odd batch size; the default runs
+# cover the 1024-row batch mode):
 #   1. Release build, full test suite (correctness + cost-identity tests),
 #      plus a smoke run of bench_parallel_scaling (DoP {1,2}) whose
 #      byte-identity and counter-identity assertions cover the parallel
@@ -44,6 +47,21 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure --timeout 120 -j "${JOBS}" "$@"
 
+# Vectorized-execution sweep: the default run above executes every query
+# in 1024-row batches; rerun the full suite with batching forced off
+# (tuple-at-a-time) and at a deliberately awkward batch size. Results must
+# be byte-identical in all three modes — the suite's identity assertions
+# do the comparing.
+echo "=== Release suite, batching forced off ==="
+MAGICDB_TEST_BATCH_SIZE=0 \
+  ctest --test-dir build-release --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
+
+echo "=== Release suite, batch size 7 ==="
+MAGICDB_TEST_BATCH_SIZE=7 \
+  ctest --test-dir build-release --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
+
 echo "=== Parallel-scaling bench smoke (Release, DoP 2) ==="
 ./build-release/bench/bench_parallel_scaling --smoke
 
@@ -67,6 +85,11 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== ASan+UBSan suite, batching forced off ==="
+MAGICDB_TEST_BATCH_SIZE=0 \
+  ctest --test-dir build-asan --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
 
 echo "=== Server-throughput bench smoke (ASan+UBSan) ==="
 ./build-asan/bench/bench_server_throughput --smoke

@@ -163,6 +163,7 @@ StatusOr<QueryResult> Database::Query(const std::string& sql) {
 
   ExecContext ctx;
   ctx.set_memory_budget_bytes(optimizer_options_.memory_budget_bytes);
+  ctx.set_batch_size(exec_batch_size_);
   MAGICDB_ASSIGN_OR_RETURN(result.rows,
                            ExecuteToVector(planned.root.get(), &ctx));
   result.counters = ctx.counters();
@@ -213,10 +214,12 @@ StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
   }
 
   ParallelExecutor executor(has_limit ? 1 : dop);
+  ParallelRunOptions run_options;
+  run_options.batch_size = exec_batch_size_;
   MAGICDB_ASSIGN_OR_RETURN(
       ParallelRunResult run,
       executor.Run(std::move(replicas),
-                   optimizer_options_.memory_budget_bytes));
+                   optimizer_options_.memory_budget_bytes, run_options));
   result.rows = std::move(run.rows);
   result.counters = run.counters;
   result.used_dop = run.used_dop;

@@ -9,6 +9,7 @@
 #include "src/common/statusor.h"
 #include "src/exec/filter_join_op.h"
 #include "src/exec/operator.h"
+#include "src/exec/row_batch.h"
 #include "src/optimizer/optimizer.h"
 
 namespace magicdb {
@@ -87,6 +88,15 @@ class Database {
 
   OptimizerOptions* mutable_optimizer_options() { return &optimizer_options_; }
 
+  /// Rows per batch for the vectorized execution path used by Query() and
+  /// ExecuteParallel(). 0 = classic tuple-at-a-time execution. Results and
+  /// cost counters are byte-identical either way; this only changes how
+  /// operators exchange rows internally.
+  int64_t exec_batch_size() const { return exec_batch_size_; }
+  void set_exec_batch_size(int64_t rows) {
+    exec_batch_size_ = rows < 0 ? 0 : rows;
+  }
+
   /// Executes a DDL statement (CREATE TABLE / CREATE VIEW).
   Status Execute(const std::string& sql);
 
@@ -133,6 +143,7 @@ class Database {
  private:
   Catalog catalog_;
   OptimizerOptions optimizer_options_;
+  int64_t exec_batch_size_ = DefaultExecBatchSize();
 };
 
 }  // namespace magicdb

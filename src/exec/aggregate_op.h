@@ -2,6 +2,7 @@
 #define MAGICDB_EXEC_AGGREGATE_OP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -48,6 +49,10 @@ class HashAggregateOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch emission: finalized groups stream out column-wise (rank
+  /// tags attached in parallel mode so the gather merge can order them).
+  /// The out-of-core (AggSpill) output path goes through the row adapter.
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override {
@@ -76,6 +81,30 @@ class HashAggregateOp final : public Operator {
 
  private:
   Status Accumulate(const Tuple& row, StagedGroup* group);
+  /// Folds one already-evaluated argument value into an aggregate state —
+  /// the shared kernel of the row path (Accumulate) and the vectorized path
+  /// (FoldPreEvaluated). NULLs are skipped per SQL semantics.
+  static Status FoldValue(const AggSpec& spec, const Value& v, AggState* st);
+  /// Batch-path accumulate: folds row `r` of the per-spec resolved argument
+  /// operands (zero-copy column views where the argument is a plain column
+  /// ref) into `group`. Expression-evaluation counters are charged
+  /// batch-wise by the caller.
+  Status FoldPreEvaluated(const std::vector<BatchOperand>& agg_ops, int32_t r,
+                          StagedGroup* group);
+  /// Routes one input row's group key to its destination — a spill partial,
+  /// an existing resident group, or a freshly charged one (with the
+  /// breach->eviction retry loop) — and applies `fold` to it. Shared by the
+  /// row and batch input drains; `coalesce_charges` selects the chunked
+  /// reservation (group_reserve_) over exact per-group charges. Templated
+  /// on the key source (Equals/Materialize/ByteWidth — the key Tuple is
+  /// materialized at most once, and not at all when the group already
+  /// exists) and the fold callable, so the per-input-row call carries no
+  /// std::function construction (defined in aggregate_op.cc; both drains
+  /// live there, so the instantiations are local).
+  template <typename KeySrc, typename Fold>
+  Status DispatchRow(ExecContext* ctx, const KeySrc& key_src, uint64_t h,
+                     int64_t input_pos, int64_t input_sub, bool parallel,
+                     bool coalesce_charges, const Fold& fold);
   StatusOr<Value> Finalize(const AggSpec& spec, const AggState& state) const;
 
   OpPtr child_;
@@ -97,6 +126,9 @@ class HashAggregateOp final : public Operator {
   // only). Victim partitions of the group table are evicted as partial
   // states and re-aggregated one at a time at end of input.
   std::unique_ptr<AggSpill> agg_spill_;
+  // Vectorized path: coalesced new-group memory charges (one tracker round
+  // trip per reservation chunk instead of per group).
+  BatchReserve group_reserve_;
 
   // Parallel mode (EnableParallel); null/unused when sequential.
   std::shared_ptr<SharedAggregate> shared_;

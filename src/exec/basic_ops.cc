@@ -26,6 +26,24 @@ Status FilterOp::Next(Tuple* out, bool* eof) {
   }
 }
 
+Status FilterOp::NextBatch(RowBatch* out, bool* eof) {
+  while (true) {
+    MAGICDB_RETURN_IF_ERROR(child_->NextBatch(out, eof));
+    const int64_t n = out->ActiveRows();
+    if (n > 0) {
+      // One predicate evaluation per live input row, as in Next().
+      ctx_->counters().exprs_evaluated += n;
+      BatchEvalPredicate(*predicate_, out, &pred_vals_, &pred_errs_);
+      // Gather the survivors dense: one move-gather here buys every
+      // downstream operator full-active bulk loops instead of
+      // selection-indexed ones.
+      out->CompactActive();
+    }
+    // Never hand an empty non-final batch upward; keep pulling instead.
+    if (out->ActiveRows() > 0 || *eof) return Status::OK();
+  }
+}
+
 Status FilterOp::Close() { return child_->Close(); }
 
 std::string FilterOp::Describe() const {
@@ -56,6 +74,57 @@ Status ProjectOp::Next(Tuple* out, bool* eof) {
     result.push_back(std::move(v));
   }
   *out = std::move(result);
+  return Status::OK();
+}
+
+Status ProjectOp::NextBatch(RowBatch* out, bool* eof) {
+  if (in_batch_ == nullptr || in_batch_->capacity() != out->capacity()) {
+    in_batch_ = std::make_unique<RowBatch>(out->capacity());
+  }
+  MAGICDB_RETURN_IF_ERROR(child_->NextBatch(in_batch_.get(), eof));
+  out->ResetForWrite(static_cast<int>(exprs_.size()));
+  const int64_t n = in_batch_->ActiveRows();
+  if (n > 0) {
+    const size_t rows = static_cast<size_t>(in_batch_->num_rows());
+    for (size_t j = 0; j < exprs_.size(); ++j) {
+      ctx_->counters().exprs_evaluated += n;
+      std::vector<Value>& dst = out->column(static_cast<int>(j));
+      Status first_error;
+      BatchOperand op;
+      ResolveBatchOperand(*exprs_[j], *in_batch_, &col_vals_, &col_errs_,
+                          &first_error, &op);
+      // Projection is strict: a row error fails the query, as in Next().
+      // Only the materializing path can produce one (literals never error,
+      // and an out-of-range column ref materializes).
+      MAGICDB_RETURN_IF_ERROR(first_error);
+      if (op.lit != nullptr) {
+        // Broadcast literal. Inactive slots get the value too instead of
+        // NULL, which is unobservable: they are outside the selection.
+        dst.assign(rows, *op.lit);
+      } else if (op.col == &col_vals_) {
+        dst.swap(col_vals_);  // materialized scratch: steal, don't copy
+      } else {
+        // Column view: one bulk copy replaces the per-row kernel.
+        dst.assign(op.col->begin(),
+                   op.col->begin() + static_cast<ptrdiff_t>(rows));
+      }
+    }
+  } else {
+    // BatchEval never ran; shape the (empty or fully-filtered) columns.
+    for (size_t j = 0; j < exprs_.size(); ++j) {
+      out->column(static_cast<int>(j))
+          .assign(static_cast<size_t>(in_batch_->num_rows()), Value());
+    }
+  }
+  out->set_num_rows(in_batch_->num_rows());
+  if (in_batch_->sel_active()) {
+    out->SetSelection(std::vector<int32_t>(in_batch_->selection()));
+  }
+  if (in_batch_->has_ranks()) {
+    out->EnableRanks();
+    out->pos() = in_batch_->pos();
+    out->sub() = in_batch_->sub();
+  }
   return Status::OK();
 }
 

@@ -19,6 +19,10 @@ class FilterOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch filter: pulls the child's batch into `out` and narrows
+  /// its selection vector with a vectorized predicate pass — no copying,
+  /// no per-row virtual dispatch. Rank tags ride along untouched.
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override {
@@ -29,6 +33,9 @@ class FilterOp final : public Operator {
   OpPtr child_;
   ExprPtr predicate_;
   ExecContext* ctx_ = nullptr;
+  // Scratch for the vectorized predicate pass, reused across batches.
+  std::vector<Value> pred_vals_;
+  std::vector<uint8_t> pred_errs_;
 };
 
 /// Computes output columns from expressions over the child tuple.
@@ -38,6 +45,9 @@ class ProjectOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch projection: each output column is one BatchEval over the
+  /// child batch; the input's selection vector and rank tags copy through.
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override {
@@ -48,6 +58,10 @@ class ProjectOp final : public Operator {
   OpPtr child_;
   std::vector<ExprPtr> exprs_;
   ExecContext* ctx_ = nullptr;
+  // Child batch + per-column value/error scratch for the vectorized path.
+  std::unique_ptr<RowBatch> in_batch_;
+  std::vector<Value> col_vals_;
+  std::vector<uint8_t> col_errs_;
 };
 
 /// Hash-based duplicate elimination over whole tuples.

@@ -173,6 +173,48 @@ HashJoinOp::HashJoinOp(OpPtr outer, OpPtr inner,
   MAGICDB_CHECK(!outer_keys_.empty());
 }
 
+Status HashJoinOp::AddBuildTuple(Tuple t, int64_t stage_pos,
+                                 int64_t* build_bytes, bool coalesce_charges) {
+  if (TupleHasNullAt(t, inner_keys_)) return Status::OK();  // never joins
+  MAGICDB_FAILPOINT("exec.hash_join.build");
+  ctx_->counters().hash_operations += 1;
+  const uint64_t hash = HashTupleColumns(t, inner_keys_);
+  if (grace_ != nullptr) {
+    // Already out of core: every remaining build row goes straight to
+    // its Grace partition, no memory charge.
+    return grace_->AddBuildRow(hash, t, ctx_);
+  }
+  // Retained build row: governed memory, whether staged into the shared
+  // partitioned build or kept in this replica's private table.
+  const int64_t row_bytes = TupleByteWidth(t);
+  Status charge = coalesce_charges ? build_reserve_.Take(ctx_, row_bytes)
+                                   : ctx_->ChargeMemory(row_bytes);
+  if (!charge.ok()) {
+    // A governed breach turns into out-of-core execution when a spill
+    // area is attached (sequential mode only; parallel replicas fail the
+    // gang and the service retries sequentially with spilling).
+    if (charge.code() != StatusCode::kResourceExhausted ||
+        !ctx_->spill_enabled() || shared_build_ != nullptr) {
+      return charge;
+    }
+    grace_ = std::make_unique<GraceHashJoin>(ctx_->spill_manager(),
+                                             outer_keys_, inner_keys_,
+                                             residual_.get());
+    MAGICDB_RETURN_IF_ERROR(
+        grace_->BeginBuildSpill(ctx_, &build_, &charged_bytes_));
+    *build_bytes = 0;
+    return grace_->AddBuildRow(hash, t, ctx_);
+  }
+  charged_bytes_ += row_bytes;
+  if (shared_build_ != nullptr) {
+    shared_build_->Stage(worker_, stage_pos, hash, std::move(t));
+    return Status::OK();
+  }
+  *build_bytes += row_bytes;
+  build_[hash].push_back(std::move(t));
+  return Status::OK();
+}
+
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   build_.clear();
@@ -186,56 +228,57 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   grace_.reset();
   probe_spilled_ = false;
   probe_rows_seen_ = 0;
+  build_reserve_ = BatchReserve();
+  probe_batch_exhausted_ = true;
+  probe_eof_ = false;
+  probe_sel_idx_ = 0;
   // Build phase over the inner child. In shared (parallel) mode this
   // replica drains only its morsel-driven slice of the build input and
   // stages rows into the partitioned build; FinishStaging synchronizes
   // with the other replicas and assembles the partitions.
   MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
   int64_t build_bytes = 0;
-  while (true) {
-    Tuple t;
-    bool eof = false;
-    MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
-    if (eof) break;
-    if (TupleHasNullAt(t, inner_keys_)) continue;  // NULL keys never join
-    MAGICDB_FAILPOINT("exec.hash_join.build");
-    ctx->counters().hash_operations += 1;
-    const uint64_t hash = HashTupleColumns(t, inner_keys_);
-    if (grace_ != nullptr) {
-      // Already out of core: every remaining build row goes straight to
-      // its Grace partition, no memory charge.
-      MAGICDB_RETURN_IF_ERROR(grace_->AddBuildRow(hash, t, ctx));
-      continue;
-    }
-    // Retained build row: governed memory, whether staged into the shared
-    // partitioned build or kept in this replica's private table.
-    const int64_t row_bytes = TupleByteWidth(t);
-    Status charge = ctx->ChargeMemory(row_bytes);
-    if (!charge.ok()) {
-      // A governed breach turns into out-of-core execution when a spill
-      // area is attached (sequential mode only; parallel replicas fail the
-      // gang and the service retries sequentially with spilling).
-      if (charge.code() != StatusCode::kResourceExhausted ||
-          !ctx->spill_enabled() || shared_build_ != nullptr) {
-        return charge;
+  if (ctx->batch_size() > 0) {
+    // Vectorized build drain: one memory reservation and one cancellation
+    // check per batch instead of per row.
+    RowBatch in(static_cast<int32_t>(ctx->batch_size()));
+    bool ieof = false;
+    while (!ieof) {
+      MAGICDB_RETURN_IF_ERROR(inner_->NextBatch(&in, &ieof));
+      if (shared_build_ != nullptr && in.ActiveRows() > 0 && !in.has_ranks()) {
+        return Status::Internal(
+            "shared hash-join build requires rank-tagged batches");
       }
-      grace_ = std::make_unique<GraceHashJoin>(ctx->spill_manager(),
-                                               outer_keys_, inner_keys_,
-                                               residual_.get());
-      MAGICDB_RETURN_IF_ERROR(
-          grace_->BeginBuildSpill(ctx, &build_, &charged_bytes_));
-      build_bytes = 0;
-      MAGICDB_RETURN_IF_ERROR(grace_->AddBuildRow(hash, t, ctx));
-      continue;
+      const std::vector<int32_t>* sel =
+          in.sel_active() ? &in.selection() : nullptr;
+      const int32_t n =
+          sel ? static_cast<int32_t>(sel->size()) : in.num_rows();
+      Tuple t;
+      for (int32_t k = 0; k < n; ++k) {
+        const int32_t r = sel ? (*sel)[k] : k;
+        in.MoveRowToTuple(r, &t);
+        const int64_t stage_pos =
+            shared_build_ != nullptr ? in.pos()[static_cast<size_t>(r)] : 0;
+        MAGICDB_RETURN_IF_ERROR(AddBuildTuple(std::move(t), stage_pos,
+                                              &build_bytes,
+                                              /*coalesce_charges=*/true));
+      }
+      MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
     }
-    charged_bytes_ += row_bytes;
-    if (shared_build_ != nullptr) {
-      shared_build_->Stage(worker_, shared_inner_scan_->last_global_row(),
-                           hash, std::move(t));
-      continue;
+    build_reserve_.ReleaseHeadroom(ctx);
+  } else {
+    while (true) {
+      Tuple t;
+      bool eof = false;
+      MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
+      if (eof) break;
+      const int64_t stage_pos = shared_build_ != nullptr
+                                    ? shared_inner_scan_->last_global_row()
+                                    : 0;
+      MAGICDB_RETURN_IF_ERROR(AddBuildTuple(std::move(t), stage_pos,
+                                            &build_bytes,
+                                            /*coalesce_charges=*/false));
     }
-    build_bytes += row_bytes;
-    build_[hash].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
   if (grace_ != nullptr) {
@@ -350,10 +393,125 @@ Status HashJoinOp::Next(Tuple* out, bool* eof) {
   }
 }
 
+Status HashJoinOp::NextBatch(RowBatch* out, bool* eof) {
+  // The Grace (out-of-core) path already materializes output rows one at a
+  // time from spill partitions; the row adapter is the natural fit there.
+  if (grace_ != nullptr) return Operator::NextBatch(out, eof);
+  out->ResetForWrite(schema_.num_columns());
+  *eof = false;
+  if (probe_batch_ == nullptr || probe_batch_->capacity() != out->capacity()) {
+    probe_batch_ = std::make_unique<RowBatch>(out->capacity());
+  }
+  while (true) {
+    if (probe_batch_exhausted_) {
+      if (probe_eof_) {
+        *eof = true;
+        return Status::OK();
+      }
+      MAGICDB_RETURN_IF_ERROR(
+          outer_->NextBatch(probe_batch_.get(), &probe_eof_));
+      probe_batch_exhausted_ = false;
+      probe_sel_idx_ = 0;
+      have_outer_ = false;
+      // Up-front vectorized pass: spill byte charges (row order, identical
+      // floor semantics to Next), NULL-key screening, and key hashing for
+      // every active row of the batch.
+      const int32_t nrows = probe_batch_->num_rows();
+      probe_hashes_.assign(static_cast<size_t>(nrows), 0);
+      probe_has_key_.assign(static_cast<size_t>(nrows), 0);
+      probe_batch_->ForEachActive([&](int32_t r) {
+        if (spilled_) {
+          const int64_t row_bytes = BatchRowByteWidth(*probe_batch_, r);
+          if (shared_build_ != nullptr) {
+            shared_build_->ChargeProbeBytes(ctx_, row_bytes);
+          } else {
+            probe_bytes_pending_ += row_bytes;
+            while (probe_bytes_pending_ >= CostConstants::kPageSizeBytes) {
+              probe_bytes_pending_ -= CostConstants::kPageSizeBytes;
+              ctx_->counters().pages_written += spill_passes_;
+              ctx_->counters().pages_read += spill_passes_;
+            }
+          }
+        }
+        if (!BatchRowHasNullAt(*probe_batch_, r, outer_keys_)) {
+          probe_has_key_[static_cast<size_t>(r)] = 1;
+          ctx_->counters().hash_operations += 1;
+          probe_hashes_[static_cast<size_t>(r)] =
+              HashBatchRowColumns(*probe_batch_, r, outer_keys_);
+        }
+      });
+    }
+    // Rank-tag the output whenever the probe side carries ranks — checked on
+    // every call because `out` arrives freshly reset even on mid-batch
+    // resumes.
+    if (probe_batch_->has_ranks()) out->EnableRanks();
+    const std::vector<int32_t>* sel =
+        probe_batch_->sel_active() ? &probe_batch_->selection() : nullptr;
+    const int32_t active =
+        sel ? static_cast<int32_t>(sel->size()) : probe_batch_->num_rows();
+    while (probe_sel_idx_ < active) {
+      const int32_t r = sel ? (*sel)[probe_sel_idx_] : probe_sel_idx_;
+      if (!have_outer_) {
+        if (!probe_has_key_[static_cast<size_t>(r)]) {
+          ++probe_sel_idx_;
+          continue;  // NULL keys never join
+        }
+        const uint64_t hash = probe_hashes_[static_cast<size_t>(r)];
+        if (shared_build_ != nullptr) {
+          current_bucket_ = shared_build_->Probe(hash);
+        } else {
+          auto it = build_.find(hash);
+          current_bucket_ = it == build_.end() ? nullptr : &it->second;
+        }
+        if (current_bucket_ == nullptr || current_bucket_->empty()) {
+          ++probe_sel_idx_;
+          continue;
+        }
+        probe_batch_->MoveRowToTuple(r, &current_outer_);
+        have_outer_ = true;
+        bucket_pos_ = 0;
+      }
+      while (bucket_pos_ < current_bucket_->size()) {
+        if (out->full()) return Status::OK();  // resume mid-bucket next call
+        const Tuple& inner_row = (*current_bucket_)[bucket_pos_++];
+        // Verify key equality (hash collisions).
+        if (CompareTupleColumns(current_outer_, inner_row, outer_keys_,
+                                inner_keys_) != 0) {
+          continue;
+        }
+        ctx_->counters().tuples_processed += 1;
+        Tuple joined = ConcatTuples(current_outer_, inner_row);
+        if (residual_) {
+          ctx_->counters().exprs_evaluated += 1;
+          if (!EvalPredicate(*residual_, joined)) continue;
+        }
+        out->AppendTuple(std::move(joined));
+        if (out->has_ranks()) {
+          // Matches inherit the outer row's scan position; the gather stage
+          // derives sub-ranks from runs of equal positions.
+          out->pos().push_back(probe_batch_->pos()[static_cast<size_t>(r)]);
+          out->sub().push_back(0);
+        }
+      }
+      have_outer_ = false;
+      ++probe_sel_idx_;
+    }
+    probe_batch_exhausted_ = true;
+    if (probe_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    if (out->full()) return Status::OK();
+    // One cancellation check per consumed probe batch.
+    MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
+  }
+}
+
 Status HashJoinOp::Close() {
   build_.clear();
   grace_.reset();
   if (ctx_ != nullptr) {
+    build_reserve_.ReleaseHeadroom(ctx_);
     ctx_->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
   }

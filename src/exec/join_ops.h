@@ -89,6 +89,12 @@ class HashJoinOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch probe: hashes a batch of outer keys, probes, and emits
+  /// matched rows until the output batch fills (mid-bucket state is saved
+  /// across calls). Emission order — and therefore every counter total —
+  /// is identical to Next(). The Grace (spilled) path goes through the
+  /// row adapter. Outer rank tags (parallel mode) propagate to matches.
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override {
@@ -112,6 +118,14 @@ class HashJoinOp final : public Operator {
   /// Grace path: drains the entire outer child into the probe partitions
   /// (tagging rows with their probe sequence) and runs the partition joins.
   Status DrainProbeToSpill();
+
+  /// Shared per-row build step for both the row and batch drains: NULL-key
+  /// skip, failpoint, hash, memory charge (coalesced through build_reserve_
+  /// when `coalesce_charges`), grace engagement on breach, and staging or
+  /// private-table insert. `stage_pos` is the scan position tag for shared
+  /// builds (ignored otherwise).
+  Status AddBuildTuple(Tuple t, int64_t stage_pos, int64_t* build_bytes,
+                       bool coalesce_charges);
 
   OpPtr outer_;
   OpPtr inner_;
@@ -145,6 +159,15 @@ class HashJoinOp final : public Operator {
   std::shared_ptr<SharedHashBuild> shared_build_;
   int worker_ = 0;
   SeqScanOp* shared_inner_scan_ = nullptr;
+  // Vectorized path: coalesced build-side memory charges, the owned outer
+  // batch the probe resumes from, and per-batch key-hash scratch.
+  BatchReserve build_reserve_;
+  std::unique_ptr<RowBatch> probe_batch_;
+  bool probe_batch_exhausted_ = true;
+  bool probe_eof_ = false;
+  int32_t probe_sel_idx_ = 0;
+  std::vector<uint64_t> probe_hashes_;
+  std::vector<uint8_t> probe_has_key_;
 };
 
 /// Sort-merge join on equality keys. Both inputs are drained, sorted by

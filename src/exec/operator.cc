@@ -20,20 +20,48 @@ std::string Operator::TreeString() const {
   return os.str();
 }
 
+Status Operator::NextBatch(RowBatch* out, bool* eof) {
+  out->ResetForWrite(schema_.num_columns());
+  *eof = false;
+  Tuple t;
+  bool row_eof = false;
+  while (!out->full()) {
+    MAGICDB_RETURN_IF_ERROR(Next(&t, &row_eof));
+    if (row_eof) {
+      *eof = true;
+      break;
+    }
+    out->AppendTuple(std::move(t));
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<Tuple>> ExecuteToVector(Operator* root,
                                              ExecContext* ctx) {
   MAGICDB_RETURN_IF_ERROR(root->Open(ctx));
   std::vector<Tuple> rows;
-  while (true) {
-    Tuple t;
-    bool eof = false;
-    MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
-    if (eof) break;
-    rows.push_back(std::move(t));
-    // Cancellation checkpoint for plans whose output loop dominates (the
-    // scan-level checkpoints cover the blocking build phases).
-    if ((rows.size() & 1023) == 0) {
+  if (ctx->batch_size() > 0) {
+    RowBatch batch(static_cast<int32_t>(ctx->batch_size()));
+    while (true) {
+      bool eof = false;
+      MAGICDB_RETURN_IF_ERROR(root->NextBatch(&batch, &eof));
+      batch.MoveActiveToTuples(&rows);
+      // One cancellation checkpoint per batch (vs per 1024 rows below).
       MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+      if (eof) break;
+    }
+  } else {
+    while (true) {
+      Tuple t;
+      bool eof = false;
+      MAGICDB_RETURN_IF_ERROR(root->Next(&t, &eof));
+      if (eof) break;
+      rows.push_back(std::move(t));
+      // Cancellation checkpoint for plans whose output loop dominates (the
+      // scan-level checkpoints cover the blocking build phases).
+      if ((rows.size() & 1023) == 0) {
+        MAGICDB_RETURN_IF_ERROR(ctx->CheckCancelled());
+      }
     }
   }
   MAGICDB_RETURN_IF_ERROR(root->Close());

@@ -7,6 +7,7 @@
 
 #include "src/common/statusor.h"
 #include "src/exec/exec_context.h"
+#include "src/exec/row_batch.h"
 #include "src/types/schema.h"
 #include "src/types/tuple.h"
 
@@ -34,6 +35,20 @@ class Operator {
   /// end of stream.
   virtual Status Next(Tuple* out, bool* eof) = 0;
 
+  /// Vectorized pull: fills `out` (reset to this operator's column count,
+  /// capacity preserved) with up to out->capacity() rows. Contract:
+  ///
+  ///   - the final batch may carry rows together with *eof = true;
+  ///   - a batch with zero live rows and *eof = false is never returned
+  ///     (operators loop internally instead of bouncing empty batches);
+  ///   - row values, order, and counter charges are identical to draining
+  ///     the same operator through Next().
+  ///
+  /// The base implementation adapts any row-only operator by looping
+  /// Next() into the batch, which is what makes mixed batch/row trees
+  /// legal: a batch-native parent can always pull from a row-only child.
+  virtual Status NextBatch(RowBatch* out, bool* eof);
+
   virtual Status Close() = 0;
 
   const Schema& schema() const { return schema_; }
@@ -54,6 +69,8 @@ class Operator {
 using OpPtr = std::unique_ptr<Operator>;
 
 /// Runs `root` to completion under `ctx` and returns all produced tuples.
+/// When ctx->batch_size() > 0 the drain pulls batches through NextBatch
+/// (with one cancellation checkpoint per batch); otherwise it loops Next().
 StatusOr<std::vector<Tuple>> ExecuteToVector(Operator* root, ExecContext* ctx);
 
 }  // namespace magicdb

@@ -1,0 +1,84 @@
+#include "src/exec/row_batch.h"
+
+#include <cstdlib>
+
+#include "src/common/hash.h"
+
+namespace magicdb {
+
+void RowBatch::MoveRowToTuple(int32_t r, Tuple* t) {
+  t->resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    (*t)[c] = std::move(columns_[c][static_cast<size_t>(r)]);
+  }
+}
+
+void RowBatch::MoveActiveToTuples(std::vector<Tuple>* out) {
+  ForEachActive([&](int32_t r) {
+    Tuple t;
+    MoveRowToTuple(r, &t);
+    out->push_back(std::move(t));
+  });
+}
+
+void RowBatch::CompactActive() {
+  if (!sel_active_) return;
+  const size_t n = selection_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t r = static_cast<size_t>(selection_[k]);
+    if (r == k) continue;  // prefix already dense; avoid self-move
+    for (auto& col : columns_) col[k] = std::move(col[r]);
+    if (has_ranks_) {
+      pos_[k] = pos_[r];
+      sub_[k] = sub_[r];
+    }
+  }
+  for (auto& col : columns_) col.resize(n);
+  if (has_ranks_) {
+    pos_.resize(n);
+    sub_.resize(n);
+  }
+  num_rows_ = static_cast<int32_t>(n);
+  sel_active_ = false;
+  selection_.clear();
+}
+
+int64_t BatchRowByteWidth(const RowBatch& batch, int32_t row) {
+  int64_t w = 0;
+  for (int c = 0; c < batch.num_cols(); ++c) {
+    w += batch.column(c)[static_cast<size_t>(row)].ByteWidth();
+  }
+  return w;
+}
+
+bool BatchRowHasNullAt(const RowBatch& batch, int32_t row,
+                       const std::vector<int>& indexes) {
+  for (int i : indexes) {
+    if (batch.column(i)[static_cast<size_t>(row)].is_null()) return true;
+  }
+  return false;
+}
+
+uint64_t HashBatchRowColumns(const RowBatch& batch, int32_t row,
+                             const std::vector<int>& indexes) {
+  // Same fold as HashTupleColumns, walking batch columns instead of a
+  // materialized tuple.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int i : indexes) {
+    h = HashCombine(h, batch.column(i)[static_cast<size_t>(row)].Hash());
+  }
+  return h;
+}
+
+int64_t DefaultExecBatchSize() {
+  static const int64_t size = [] {
+    if (const char* env = std::getenv("MAGICDB_TEST_BATCH_SIZE")) {
+      const int64_t v = std::strtoll(env, nullptr, 10);
+      return v < 0 ? int64_t{0} : v;
+    }
+    return int64_t{RowBatch::kDefaultCapacity};
+  }();
+  return size;
+}
+
+}  // namespace magicdb

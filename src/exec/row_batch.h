@@ -1,0 +1,163 @@
+#ifndef MAGICDB_EXEC_ROW_BATCH_H_
+#define MAGICDB_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/types/tuple.h"
+#include "src/types/value.h"
+
+namespace magicdb {
+
+/// Column-oriented batch of rows flowing through the vectorized execution
+/// path (Operator::NextBatch). Layout:
+///
+///   - `num_cols` column vectors of Value, all `num_rows` long — the
+///     physical rows of the batch;
+///   - an optional *selection vector*: a sorted list of physical row
+///     indexes that are logically alive. Filters narrow the selection
+///     in place instead of compacting the columns, so upstream data is
+///     copied once per pipeline, not once per filter;
+///   - optional *rank* vectors (pos, sub), aligned with the physical rows,
+///     carrying the deterministic (position, sub-rank) tags the parallel
+///     gather merge orders by. Scans fill pos with the global row index;
+///     rank-preserving operators copy them through.
+///
+/// A batch is an arena the producing operator overwrites every iteration:
+/// consumers must finish with (or move out of) a batch before pulling the
+/// next one. Capacity is fixed at construction (ExecOptions::batch_size)
+/// and survives ResetForWrite.
+class RowBatch {
+ public:
+  static constexpr int32_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(int32_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : kDefaultCapacity) {}
+
+  int32_t capacity() const { return capacity_; }
+  int32_t num_cols() const { return static_cast<int32_t>(columns_.size()); }
+  /// Physical rows (including rows a selection vector has filtered out).
+  int32_t num_rows() const { return num_rows_; }
+  bool full() const { return num_rows_ >= capacity_; }
+
+  /// Clears rows, selection, and ranks; (re)shapes to `num_cols` columns.
+  /// Column storage is retained so steady-state iterations do not allocate.
+  void ResetForWrite(int num_cols) {
+    columns_.resize(static_cast<size_t>(num_cols));
+    for (auto& col : columns_) col.clear();
+    num_rows_ = 0;
+    sel_active_ = false;
+    selection_.clear();
+    has_ranks_ = false;
+    pos_.clear();
+    sub_.clear();
+  }
+
+  std::vector<Value>& column(int c) { return columns_[static_cast<size_t>(c)]; }
+  const std::vector<Value>& column(int c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+
+  /// Appends one row by moving the tuple's values column-wise (the
+  /// row->batch adapter path). The tuple must have num_cols() values.
+  void AppendTuple(Tuple&& t) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(std::move(t[c]));
+    }
+    ++num_rows_;
+  }
+
+  /// Bulk-write protocol: an operator that fills column vectors directly
+  /// (e.g. the scan's column-wise page copy) declares the new physical row
+  /// count afterwards. Every column must be `n` long.
+  void set_num_rows(int32_t n) { num_rows_ = n; }
+
+  // -- Selection vector -----------------------------------------------------
+
+  /// True when a selection vector restricts the live rows.
+  bool sel_active() const { return sel_active_; }
+  const std::vector<int32_t>& selection() const { return selection_; }
+
+  /// Logically live rows: selection size when active, else num_rows().
+  int32_t ActiveRows() const {
+    return sel_active_ ? static_cast<int32_t>(selection_.size()) : num_rows_;
+  }
+
+  /// Installs `sel` (sorted, strictly increasing physical row indexes) as
+  /// the selection vector. An empty vector means "no rows survive", which
+  /// is distinct from clearing the selection via ResetForWrite.
+  void SetSelection(std::vector<int32_t> sel) {
+    selection_ = std::move(sel);
+    sel_active_ = true;
+  }
+
+  /// Gathers the selected rows (and their rank tags) to the front of the
+  /// column vectors, shrinks the batch to the survivor count, and drops the
+  /// selection vector. Pays one move-gather of the survivors so every
+  /// downstream per-batch loop runs dense (and the fully-active bulk fast
+  /// paths apply); filters call it after narrowing the selection. No-op
+  /// when no selection is active.
+  void CompactActive();
+
+  /// Calls f(physical_row_index) for every live row, in ascending order.
+  template <typename F>
+  void ForEachActive(F&& f) const {
+    if (sel_active_) {
+      for (int32_t r : selection_) f(r);
+    } else {
+      for (int32_t r = 0; r < num_rows_; ++r) f(r);
+    }
+  }
+
+  // -- Rank tags (parallel gather ordering) ---------------------------------
+
+  bool has_ranks() const { return has_ranks_; }
+  /// Enables the (pos, sub) rank vectors; the producer appends one entry
+  /// per physical row it emits.
+  void EnableRanks() { has_ranks_ = true; }
+  std::vector<int64_t>& pos() { return pos_; }
+  const std::vector<int64_t>& pos() const { return pos_; }
+  std::vector<int64_t>& sub() { return sub_; }
+  const std::vector<int64_t>& sub() const { return sub_; }
+
+  // -- Row-form conversion --------------------------------------------------
+
+  /// Moves physical row `r` out of the batch into `*t` (resized to
+  /// num_cols()). The row's slots are left NULL; callers do this only on a
+  /// batch they will Reset (or discard) before reuse.
+  void MoveRowToTuple(int32_t r, Tuple* t);
+
+  /// Appends every live row to `*out` as tuples, moving the values out.
+  void MoveActiveToTuples(std::vector<Tuple>* out);
+
+ private:
+  int32_t capacity_;
+  int32_t num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+  bool sel_active_ = false;
+  std::vector<int32_t> selection_;
+  bool has_ranks_ = false;
+  std::vector<int64_t> pos_;
+  std::vector<int64_t> sub_;
+};
+
+/// Row-wise helpers over batch columns, mirroring their Tuple counterparts
+/// (TupleByteWidth / TupleHasNullAt / HashTupleColumns) value-for-value so
+/// batch operators charge and hash exactly like the row path.
+int64_t BatchRowByteWidth(const RowBatch& batch, int32_t row);
+bool BatchRowHasNullAt(const RowBatch& batch, int32_t row,
+                       const std::vector<int>& indexes);
+uint64_t HashBatchRowColumns(const RowBatch& batch, int32_t row,
+                             const std::vector<int>& indexes);
+
+/// Process-wide default batch size for the vectorized execution path:
+/// RowBatch::kDefaultCapacity unless the MAGICDB_TEST_BATCH_SIZE environment
+/// variable overrides it (clamped to >= 0; 0 forces tuple-at-a-time
+/// execution). check.sh sets the variable to run the full test suite under
+/// both execution modes.
+int64_t DefaultExecBatchSize();
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_ROW_BATCH_H_

@@ -1,5 +1,7 @@
 #include "src/exec/scan_ops.h"
 
+#include <algorithm>
+
 #include "src/common/failpoint.h"
 
 namespace magicdb {
@@ -50,6 +52,67 @@ Status SeqScanOp::Next(Tuple* out, bool* eof) {
   *out = table_->row(next_row_++);
   *eof = false;
   return Status::OK();
+}
+
+Status SeqScanOp::NextBatch(RowBatch* out, bool* eof) {
+  const int num_cols = schema_.num_columns();
+  out->ResetForWrite(num_cols);
+  *eof = false;
+  if (morsels_ != nullptr) out->EnableRanks();
+  while (!out->full()) {
+    int64_t chunk_end;
+    if (morsels_ != nullptr) {
+      if (!have_morsel_ || next_row_ >= morsel_.end) {
+        // Morsel claims keep their cancellation checkpoint (see Next).
+        MAGICDB_RETURN_IF_ERROR(ctx_->CheckCancelled());
+        if (!morsels_->Next(&morsel_)) {
+          *eof = true;
+          break;
+        }
+        have_morsel_ = true;
+        next_row_ = morsel_.begin;
+      }
+      chunk_end = morsel_.end;
+    } else {
+      if (next_row_ >= table_->NumRows()) {
+        *eof = true;
+        break;
+      }
+      chunk_end = table_->NumRows();
+    }
+    const int64_t room = out->capacity() - out->num_rows();
+    const int64_t chunk = std::min(room, chunk_end - next_row_);
+    // Page charges for every boundary in [next_row_, next_row_ + chunk) —
+    // identical totals to the per-row boundary test in Next().
+    const int64_t first_boundary =
+        ((next_row_ + rows_per_page_ - 1) / rows_per_page_) * rows_per_page_;
+    for (int64_t b = first_boundary; b < next_row_ + chunk;
+         b += rows_per_page_) {
+      MAGICDB_FAILPOINT("storage.page_read");
+      ctx_->counters().pages_read += 1;
+    }
+    // Column-wise copy into the batch: one output column at a time, so
+    // each inner loop appends to a single vector.
+    for (int c = 0; c < num_cols; ++c) {
+      std::vector<Value>& col = out->column(c);
+      col.reserve(static_cast<size_t>(out->num_rows() + chunk));
+      for (int64_t i = 0; i < chunk; ++i) {
+        col.push_back(table_->row(next_row_ + i)[static_cast<size_t>(c)]);
+      }
+    }
+    if (morsels_ != nullptr) {
+      for (int64_t i = 0; i < chunk; ++i) {
+        out->pos().push_back(next_row_ + i);
+        out->sub().push_back(0);
+      }
+    }
+    out->set_num_rows(out->num_rows() + static_cast<int32_t>(chunk));
+    ctx_->counters().tuples_processed += chunk;
+    next_row_ += chunk;
+    last_global_row_ = next_row_ - 1;
+  }
+  // One cancellation check per batch replaces the per-page check in Next().
+  return ctx_->CheckCancelled();
 }
 
 Status SeqScanOp::Close() { return Status::OK(); }
@@ -159,6 +222,38 @@ Status VectorScanOp::Next(Tuple* out, bool* eof) {
   *out = (*rows_)[next_row_++];
   *eof = false;
   return Status::OK();
+}
+
+Status VectorScanOp::NextBatch(RowBatch* out, bool* eof) {
+  const int num_cols = schema_.num_columns();
+  out->ResetForWrite(num_cols);
+  const int64_t total = static_cast<int64_t>(rows_->size());
+  if (next_row_ >= total) {
+    *eof = true;
+    return ctx_->CheckCancelled();
+  }
+  const int64_t chunk =
+      std::min(static_cast<int64_t>(out->capacity()), total - next_row_);
+  if (charge_pages_) {
+    const int64_t first_boundary =
+        ((next_row_ + rows_per_page_ - 1) / rows_per_page_) * rows_per_page_;
+    for (int64_t b = first_boundary; b < next_row_ + chunk;
+         b += rows_per_page_) {
+      ctx_->counters().pages_read += 1;
+    }
+  }
+  for (int64_t i = 0; i < chunk; ++i) {
+    const Tuple& row = (*rows_)[static_cast<size_t>(next_row_ + i)];
+    for (int c = 0; c < num_cols; ++c) {
+      out->column(c).push_back(row[static_cast<size_t>(c)]);
+    }
+  }
+  out->set_num_rows(static_cast<int32_t>(chunk));
+  ctx_->counters().tuples_processed += chunk;
+  next_row_ += chunk;
+  *eof = next_row_ >= total;
+  // One cancellation check per batch replaces the page-boundary check.
+  return ctx_->CheckCancelled();
 }
 
 Status VectorScanOp::Close() { return Status::OK(); }

@@ -27,6 +27,10 @@ class SeqScanOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch scan: column-wise page copies with one cancellation
+  /// check per batch (morsel claims keep their own checkpoint). In morsel
+  /// mode the batch carries (pos, sub) = (global row, 0) rank tags.
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
 
@@ -110,6 +114,8 @@ class VectorScanOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Native batch scan over the vector (per-batch cancellation check).
+  Status NextBatch(RowBatch* out, bool* eof) override;
   Status Close() override;
   std::string Describe() const override;
 

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/exec/row_batch.h"
 
 namespace magicdb {
+
+namespace {
+
+/// Resets the per-node result vectors: every slot NULL, no errors.
+void InitBatchOut(const RowBatch& batch, std::vector<Value>* out,
+                  std::vector<uint8_t>* errs) {
+  out->assign(static_cast<size_t>(batch.num_rows()), Value());
+  errs->assign(static_cast<size_t>(batch.num_rows()), 0);
+}
+
+/// Marks row `r` as errored; the first error in evaluation order wins.
+void RowError(int32_t r, Status s, std::vector<uint8_t>* errs,
+              Status* first_error) {
+  (*errs)[static_cast<size_t>(r)] = 1;
+  if (first_error->ok()) *first_error = std::move(s);
+}
+
+}  // namespace
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -45,9 +65,42 @@ void Expr::CollectColumnRefs(std::vector<int>* out) const {
   out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
+void Expr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                     std::vector<uint8_t>* errs, Status* first_error) const {
+  // Row-at-a-time fallback: materialize each live row and call Eval. Keeps
+  // every Expr subclass batch-safe even without a native kernel.
+  InitBatchOut(batch, out, errs);
+  Tuple row(static_cast<size_t>(batch.num_cols()));
+  batch.ForEachActive([&](int32_t r) {
+    for (int c = 0; c < batch.num_cols(); ++c) {
+      row[static_cast<size_t>(c)] = batch.column(c)[static_cast<size_t>(r)];
+    }
+    StatusOr<Value> v = Eval(row);
+    if (v.ok()) {
+      (*out)[static_cast<size_t>(r)] = std::move(*v);
+    } else {
+      RowError(r, v.status(), errs, first_error);
+    }
+  });
+}
+
 // ----- LiteralExpr -----
 
 StatusOr<Value> LiteralExpr::Eval(const Tuple&) const { return value_; }
+
+void LiteralExpr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                            std::vector<uint8_t>* errs, Status*) const {
+  const size_t n = static_cast<size_t>(batch.num_rows());
+  if (batch.ActiveRows() == batch.num_rows()) {
+    // Fully active: bulk broadcast instead of the per-row loop.
+    out->assign(n, value_);
+    errs->assign(n, 0);
+    return;
+  }
+  InitBatchOut(batch, out, errs);
+  batch.ForEachActive(
+      [&](int32_t r) { (*out)[static_cast<size_t>(r)] = value_; });
+}
 
 ExprPtr LiteralExpr::RemapColumns(const std::vector<int>&) const {
   return std::make_shared<LiteralExpr>(value_);
@@ -64,6 +117,35 @@ StatusOr<Value> ColumnRefExpr::Eval(const Tuple& row) const {
                             std::to_string(row.size()));
   }
   return row[index_];
+}
+
+void ColumnRefExpr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                              std::vector<uint8_t>* errs,
+                              Status* first_error) const {
+  if (index_ >= 0 && index_ < batch.num_cols() &&
+      batch.ActiveRows() == batch.num_rows() && batch.num_rows() > 0) {
+    // Fully active, in range: one bulk copy instead of the per-row loop.
+    const std::vector<Value>& col = batch.column(index_);
+    out->assign(col.begin(),
+                col.begin() + static_cast<ptrdiff_t>(batch.num_rows()));
+    errs->assign(static_cast<size_t>(batch.num_rows()), 0);
+    return;
+  }
+  InitBatchOut(batch, out, errs);
+  if (batch.ActiveRows() == 0) return;
+  if (index_ < 0 || index_ >= batch.num_cols()) {
+    // Same message Eval() produces (columns == tuple arity here).
+    Status oob = Status::Internal("column index " + std::to_string(index_) +
+                                  " out of range for tuple of arity " +
+                                  std::to_string(batch.num_cols()));
+    batch.ForEachActive(
+        [&](int32_t r) { RowError(r, oob, errs, first_error); });
+    return;
+  }
+  const std::vector<Value>& col = batch.column(index_);
+  batch.ForEachActive([&](int32_t r) {
+    (*out)[static_cast<size_t>(r)] = col[static_cast<size_t>(r)];
+  });
 }
 
 ExprPtr ColumnRefExpr::RemapColumns(const std::vector<int>& mapping) const {
@@ -103,6 +185,50 @@ StatusOr<Value> ComparisonExpr::Eval(const Tuple& row) const {
       return Value::Bool(c >= 0);
   }
   return Status::Internal("bad compare op");
+}
+
+void ComparisonExpr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                               std::vector<uint8_t>* errs,
+                               Status* first_error) const {
+  std::vector<Value> lvals, rvals;
+  std::vector<uint8_t> lerrs, rerrs;
+  BatchOperand lop, rop;
+  ResolveBatchOperand(*left_, batch, &lvals, &lerrs, first_error, &lop);
+  ResolveBatchOperand(*right_, batch, &rvals, &rerrs, first_error, &rop);
+  InitBatchOut(batch, out, errs);
+  batch.ForEachActive([&](int32_t r) {
+    const size_t i = static_cast<size_t>(r);
+    if (lop.err(i) || rop.err(i)) {
+      (*errs)[i] = 1;  // child error poisons the row
+      return;
+    }
+    const Value& lv = lop.at(i);
+    const Value& rv = rop.at(i);
+    if (lv.is_null() || rv.is_null()) return;  // result stays NULL
+    const int c = lv.Compare(rv);
+    bool b = false;
+    switch (op_) {
+      case CompareOp::kEq:
+        b = c == 0;
+        break;
+      case CompareOp::kNe:
+        b = c != 0;
+        break;
+      case CompareOp::kLt:
+        b = c < 0;
+        break;
+      case CompareOp::kLe:
+        b = c <= 0;
+        break;
+      case CompareOp::kGt:
+        b = c > 0;
+        break;
+      case CompareOp::kGe:
+        b = c >= 0;
+        break;
+    }
+    (*out)[i] = Value::Bool(b);
+  });
 }
 
 ExprPtr ComparisonExpr::RemapColumns(const std::vector<int>& mapping) const {
@@ -169,6 +295,76 @@ StatusOr<Value> ArithmeticExpr::Eval(const Tuple& row) const {
   return Status::Internal("bad arith op");
 }
 
+void ArithmeticExpr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                               std::vector<uint8_t>* errs,
+                               Status* first_error) const {
+  std::vector<Value> lvals, rvals;
+  std::vector<uint8_t> lerrs, rerrs;
+  BatchOperand lop, rop;
+  ResolveBatchOperand(*left_, batch, &lvals, &lerrs, first_error, &lop);
+  ResolveBatchOperand(*right_, batch, &rvals, &rerrs, first_error, &rop);
+  InitBatchOut(batch, out, errs);
+  batch.ForEachActive([&](int32_t r) {
+    const size_t i = static_cast<size_t>(r);
+    if (lop.err(i) || rop.err(i)) {
+      (*errs)[i] = 1;
+      return;
+    }
+    const Value& lv = lop.at(i);
+    const Value& rv = rop.at(i);
+    if (lv.is_null() || rv.is_null()) return;
+    // Exact integer arithmetic when both sides are int64 (except division) —
+    // same fast path Eval() takes.
+    if (lv.type() == DataType::kInt64 && rv.type() == DataType::kInt64 &&
+        op_ != ArithOp::kDiv) {
+      const int64_t a = lv.AsInt64();
+      const int64_t b = rv.AsInt64();
+      switch (op_) {
+        case ArithOp::kAdd:
+          (*out)[i] = Value::Int64(a + b);
+          return;
+        case ArithOp::kSub:
+          (*out)[i] = Value::Int64(a - b);
+          return;
+        case ArithOp::kMul:
+          (*out)[i] = Value::Int64(a * b);
+          return;
+        default:
+          break;
+      }
+    }
+    StatusOr<double> a = lv.AsNumeric();
+    if (!a.ok()) {
+      RowError(r, a.status(), errs, first_error);
+      return;
+    }
+    StatusOr<double> b = rv.AsNumeric();
+    if (!b.ok()) {
+      RowError(r, b.status(), errs, first_error);
+      return;
+    }
+    switch (op_) {
+      case ArithOp::kAdd:
+        (*out)[i] = Value::Double(*a + *b);
+        return;
+      case ArithOp::kSub:
+        (*out)[i] = Value::Double(*a - *b);
+        return;
+      case ArithOp::kMul:
+        (*out)[i] = Value::Double(*a * *b);
+        return;
+      case ArithOp::kDiv:
+        if (*b == 0.0) {
+          RowError(r, Status::InvalidArgument("division by zero"), errs,
+                   first_error);
+          return;
+        }
+        (*out)[i] = Value::Double(*a / *b);
+        return;
+    }
+  });
+}
+
 ExprPtr ArithmeticExpr::RemapColumns(const std::vector<int>& mapping) const {
   return std::make_shared<ArithmeticExpr>(op_, left_->RemapColumns(mapping),
                                           right_->RemapColumns(mapping));
@@ -218,6 +414,76 @@ StatusOr<Value> LogicalExpr::Eval(const Tuple& row) const {
   if (a == 1 || b == 1) return Value::Bool(true);
   if (a == 2 || b == 2) return Value::Null();
   return Value::Bool(false);
+}
+
+void LogicalExpr::BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                            std::vector<uint8_t>* errs,
+                            Status* first_error) const {
+  std::vector<Value> lvals;
+  std::vector<uint8_t> lerrs;
+  BatchOperand lop;
+  ResolveBatchOperand(*left_, batch, &lvals, &lerrs, first_error, &lop);
+  if (op_ == LogicalOp::kNot) {
+    InitBatchOut(batch, out, errs);
+    batch.ForEachActive([&](int32_t r) {
+      const size_t i = static_cast<size_t>(r);
+      if (lop.err(i)) {
+        (*errs)[i] = 1;
+        return;
+      }
+      const Value& v = lop.at(i);
+      if (v.is_null()) return;
+      if (v.type() != DataType::kBool) {
+        RowError(r, Status::TypeError("NOT over non-boolean: " + v.ToString()),
+                 errs, first_error);
+        return;
+      }
+      (*out)[i] = Value::Bool(!v.AsBool());
+    });
+    return;
+  }
+  std::vector<Value> rvals;
+  std::vector<uint8_t> rerrs;
+  BatchOperand rop;
+  ResolveBatchOperand(*right_, batch, &rvals, &rerrs, first_error, &rop);
+  InitBatchOut(batch, out, errs);
+  // Kleene three-valued AND/OR: 0 = false, 1 = true, 2 = unknown.
+  auto as_tri = [&](const Value& v, int32_t r) -> int {
+    if (v.is_null()) return 2;
+    if (v.type() != DataType::kBool) {
+      RowError(r,
+               Status::TypeError("logical op over non-boolean: " +
+                                 v.ToString()),
+               errs, first_error);
+      return -1;
+    }
+    return v.AsBool() ? 1 : 0;
+  };
+  batch.ForEachActive([&](int32_t r) {
+    const size_t i = static_cast<size_t>(r);
+    if (lop.err(i) || rop.err(i)) {
+      (*errs)[i] = 1;
+      return;
+    }
+    const int a = as_tri(lop.at(i), r);
+    if (a < 0) return;
+    const int b = as_tri(rop.at(i), r);
+    if (b < 0) return;
+    if (op_ == LogicalOp::kAnd) {
+      if (a == 0 || b == 0) {
+        (*out)[i] = Value::Bool(false);
+      } else if (a != 2 && b != 2) {
+        (*out)[i] = Value::Bool(true);
+      }  // else: unknown stays NULL
+      return;
+    }
+    // OR
+    if (a == 1 || b == 1) {
+      (*out)[i] = Value::Bool(true);
+    } else if (a != 2 && b != 2) {
+      (*out)[i] = Value::Bool(false);
+    }  // else: unknown stays NULL
+  });
 }
 
 ExprPtr LogicalExpr::RemapColumns(const std::vector<int>& mapping) const {
@@ -306,10 +572,49 @@ void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
   out->push_back(expr);
 }
 
+void ResolveBatchOperand(const Expr& expr, const RowBatch& batch,
+                         std::vector<Value>* scratch_vals,
+                         std::vector<uint8_t>* scratch_errs,
+                         Status* first_error, BatchOperand* op) {
+  *op = BatchOperand{};
+  if (expr.kind() == ExprKind::kLiteral) {
+    op->lit = &static_cast<const LiteralExpr&>(expr).value();
+    return;
+  }
+  if (expr.kind() == ExprKind::kColumnRef) {
+    const int index = static_cast<const ColumnRefExpr&>(expr).index();
+    if (index >= 0 && index < batch.num_cols()) {
+      op->col = &batch.column(index);
+      return;
+    }
+    // Out-of-range refs take the materializing path below, whose error
+    // handling matches Eval().
+  }
+  expr.BatchEval(batch, scratch_vals, scratch_errs, first_error);
+  op->col = scratch_vals;
+  op->errs = scratch_errs;
+}
+
 bool EvalPredicate(const Expr& expr, const Tuple& row) {
   StatusOr<Value> v = expr.Eval(row);
   if (!v.ok() || v->is_null()) return false;
   return v->type() == DataType::kBool && v->AsBool();
+}
+
+void BatchEvalPredicate(const Expr& expr, RowBatch* batch,
+                        std::vector<Value>* vals, std::vector<uint8_t>* errs) {
+  Status first_error;  // predicate errors count as false; status discarded
+  expr.BatchEval(*batch, vals, errs, &first_error);
+  std::vector<int32_t> sel;
+  sel.reserve(static_cast<size_t>(batch->ActiveRows()));
+  batch->ForEachActive([&](int32_t r) {
+    const size_t i = static_cast<size_t>(r);
+    if ((*errs)[i]) return;
+    const Value& v = (*vals)[i];
+    if (v.is_null()) return;
+    if (v.type() == DataType::kBool && v.AsBool()) sel.push_back(r);
+  });
+  batch->SetSelection(std::move(sel));
 }
 
 }  // namespace magicdb

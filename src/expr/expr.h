@@ -1,6 +1,7 @@
 #ifndef MAGICDB_EXPR_EXPR_H_
 #define MAGICDB_EXPR_EXPR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "src/types/value.h"
 
 namespace magicdb {
+
+class RowBatch;
 
 class Expr;
 /// Expressions are immutable and shared between plan alternatives; the
@@ -52,6 +55,28 @@ class Expr {
   /// (e.g. '+' over strings) and on division by zero.
   virtual StatusOr<Value> Eval(const Tuple& row) const = 0;
 
+  /// Vectorized evaluation over every live row of `batch` (its selection
+  /// vector is honored). Writes out->at(r) for each live physical row r;
+  /// a row whose evaluation errors gets errs->at(r) = 1 and a NULL value,
+  /// and *first_error is set to the error Status if it is still OK. A row
+  /// whose *child* erred is poisoned (errs propagates) without recomputing.
+  /// Both vectors are assign()-ed to batch.num_rows() entries on entry.
+  ///
+  /// Per-row results on the success path are identical to Eval(); when
+  /// several rows error, *first_error is the first in this tree's
+  /// (child-major) evaluation order, which can differ from the row-major
+  /// order Eval() surfaces — predicates never observe this (errors count
+  /// as false either way).
+  ///
+  /// ComparisonExpr / ArithmeticExpr / LogicalExpr / ColumnRefExpr /
+  /// LiteralExpr override this with tight column loops that skip the
+  /// per-row virtual Eval dispatch; the base implementation falls back to
+  /// materializing each live row and calling Eval (so any future Expr kind
+  /// is batch-safe by construction).
+  virtual void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                         std::vector<uint8_t>* errs,
+                         Status* first_error) const;
+
   /// Number of nodes in this tree (used to charge CPU per evaluation).
   virtual int NodeCount() const = 0;
 
@@ -81,6 +106,9 @@ class LiteralExpr final : public Expr {
   const Value& value() const { return value_; }
   DataType result_type() const override { return value_.type(); }
   StatusOr<Value> Eval(const Tuple& row) const override;
+  void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                 std::vector<uint8_t>* errs,
+                 Status* first_error) const override;
   int NodeCount() const override { return 1; }
   ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
   std::string ToString() const override { return value_.ToString(); }
@@ -104,6 +132,9 @@ class ColumnRefExpr final : public Expr {
   const std::string& name() const { return name_; }
   DataType result_type() const override { return type_; }
   StatusOr<Value> Eval(const Tuple& row) const override;
+  void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                 std::vector<uint8_t>* errs,
+                 Status* first_error) const override;
   int NodeCount() const override { return 1; }
   ExprPtr RemapColumns(const std::vector<int>& mapping) const override;
   std::string ToString() const override;
@@ -129,6 +160,9 @@ class ComparisonExpr final : public Expr {
   const ExprPtr& right() const { return right_; }
   DataType result_type() const override { return DataType::kBool; }
   StatusOr<Value> Eval(const Tuple& row) const override;
+  void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                 std::vector<uint8_t>* errs,
+                 Status* first_error) const override;
   int NodeCount() const override {
     return 1 + left_->NodeCount() + right_->NodeCount();
   }
@@ -156,6 +190,9 @@ class ArithmeticExpr final : public Expr {
   const ExprPtr& right() const { return right_; }
   DataType result_type() const override;
   StatusOr<Value> Eval(const Tuple& row) const override;
+  void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                 std::vector<uint8_t>* errs,
+                 Status* first_error) const override;
   int NodeCount() const override {
     return 1 + left_->NodeCount() + right_->NodeCount();
   }
@@ -184,6 +221,9 @@ class LogicalExpr final : public Expr {
   const ExprPtr& right() const { return right_; }
   DataType result_type() const override { return DataType::kBool; }
   StatusOr<Value> Eval(const Tuple& row) const override;
+  void BatchEval(const RowBatch& batch, std::vector<Value>* out,
+                 std::vector<uint8_t>* errs,
+                 Status* first_error) const override;
   int NodeCount() const override {
     return 1 + left_->NodeCount() + (right_ ? right_->NodeCount() : 0);
   }
@@ -217,8 +257,39 @@ ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts);
 /// Splits an expression into top-level AND conjuncts.
 void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
 
+/// Resolved batch-mode input of a subexpression: either a zero-copy view of
+/// a batch column (ColumnRefExpr with an in-range index), a single broadcast
+/// value (LiteralExpr), or the caller's scratch vectors filled through
+/// BatchEval. Lets batch kernels skip the per-row Value copies for the two
+/// leaf kinds that dominate real predicates and projections.
+struct BatchOperand {
+  const std::vector<Value>* col = nullptr;  // column view or filled scratch
+  const Value* lit = nullptr;               // broadcast literal
+  const std::vector<uint8_t>* errs = nullptr;  // null => no row errored
+
+  const Value& at(size_t i) const { return lit != nullptr ? *lit : (*col)[i]; }
+  bool err(size_t i) const { return errs != nullptr && (*errs)[i] != 0; }
+};
+
+/// Resolves `expr` against `batch` into `*op`. Zero-copy for literals and
+/// in-range column refs; otherwise materializes through expr.BatchEval into
+/// the caller-owned scratch vectors (reused across batches) and points the
+/// operand at them.
+void ResolveBatchOperand(const Expr& expr, const RowBatch& batch,
+                         std::vector<Value>* scratch_vals,
+                         std::vector<uint8_t>* scratch_errs,
+                         Status* first_error, BatchOperand* op);
+
 /// Evaluates `expr` as a predicate: NULL and errors count as false.
 bool EvalPredicate(const Expr& expr, const Tuple& row);
+
+/// Vectorized EvalPredicate: evaluates `expr` over every live row of
+/// `batch` and narrows the batch's selection vector to the rows where the
+/// result is boolean true (NULL, non-bool, and erroring rows drop out —
+/// exactly EvalPredicate's semantics). `vals`/`errs` are caller-owned
+/// scratch vectors reused across batches.
+void BatchEvalPredicate(const Expr& expr, RowBatch* batch,
+                        std::vector<Value>* vals, std::vector<uint8_t>* errs);
 
 }  // namespace magicdb
 

@@ -149,22 +149,9 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
     ctx->ReleaseMemory(staged_charged);
     return st;
   };
-  while (true) {
-    Tuple t;
-    bool eof = false;
-    Status st = root->Next(&t, &eof);
-    if (!st.ok()) return fail(std::move(st));
-    if (eof) break;
-    int64_t pos = 0;
-    int64_t sub = 0;
-    if (shape.aggregate != nullptr) {
-      pos = shape.aggregate->last_group_pos();
-      sub = shape.aggregate->last_group_sub();
-    } else if (shape.filter_join != nullptr) {
-      pos = shape.filter_join->last_probe_global_pos();
-    } else {
-      pos = shape.driving_scan->last_global_row();
-    }
+  // Admits one output row into the gather run under the query's memory
+  // governor, flushing the staged tail to the gather spill file on a breach.
+  auto stage = [&](Tuple t, int64_t pos, int64_t sub) -> Status {
     if (ctx->memory_tracker() != nullptr) {
       // Staged gather rows live until the merged stream is drained, so
       // they count against the query's limit like any retained state.
@@ -173,25 +160,75 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
       if (!charge.ok()) {
         if (charge.code() != StatusCode::kResourceExhausted ||
             !ctx->spill_enabled()) {
-          return fail(std::move(charge));
+          return charge;
         }
         // Flush the staged rows to this worker's gather spill file and
         // release their memory; the tail restarts empty.
-        Status fs = FlushGatherRows(run, ctx, &scratch);
-        if (!fs.ok()) return fail(std::move(fs));
+        MAGICDB_RETURN_IF_ERROR(FlushGatherRows(run, ctx, &scratch));
         ctx->ReleaseMemory(staged_charged);
         staged_charged = 0;
-        Status retry = ctx->ChargeMemory(row_bytes);
-        if (!retry.ok()) return retry;
+        MAGICDB_RETURN_IF_ERROR(ctx->ChargeMemory(row_bytes));
       }
       staged_charged += row_bytes;
     }
     run->rows.push_back({pos, sub, std::move(t)});
-    // Morsel-loop cancellation checkpoint (the driving scan also checks at
-    // every morsel claim; this covers probe-heavy plans between claims).
-    if ((++rows_staged & 1023) == 0) {
+    return Status::OK();
+  };
+  // Vectorized drain: rank tags ride in the batches (scan position from the
+  // morsel scan, group first-seen rank from the aggregate), so no per-row
+  // position-provider query is needed. A Filter Join's position provider is
+  // inherently row-at-a-time, so those pipelines stay on the row drain.
+  if (ctx->batch_size() > 0 && shape.filter_join == nullptr) {
+    RowBatch batch(static_cast<int32_t>(ctx->batch_size()));
+    bool eof = false;
+    while (!eof) {
+      Status st = root->NextBatch(&batch, &eof);
+      if (!st.ok()) return fail(std::move(st));
+      const std::vector<int32_t>* sel =
+          batch.sel_active() ? &batch.selection() : nullptr;
+      const int32_t n =
+          sel ? static_cast<int32_t>(sel->size()) : batch.num_rows();
+      if (n > 0 && !batch.has_ranks()) {
+        return fail(
+            Status::Internal("parallel pipeline batch lacks rank tags"));
+      }
+      Tuple t;
+      for (int32_t k = 0; k < n; ++k) {
+        const int32_t r = sel ? (*sel)[k] : k;
+        batch.MoveRowToTuple(r, &t);
+        Status ss = stage(std::move(t), batch.pos()[static_cast<size_t>(r)],
+                          batch.sub()[static_cast<size_t>(r)]);
+        if (!ss.ok()) return fail(std::move(ss));
+      }
+      // Per-batch cancellation checkpoint replaces the per-1024-rows one.
       Status cc = ctx->CheckCancelled();
       if (!cc.ok()) return fail(std::move(cc));
+    }
+  } else {
+    while (true) {
+      Tuple t;
+      bool eof = false;
+      Status st = root->Next(&t, &eof);
+      if (!st.ok()) return fail(std::move(st));
+      if (eof) break;
+      int64_t pos = 0;
+      int64_t sub = 0;
+      if (shape.aggregate != nullptr) {
+        pos = shape.aggregate->last_group_pos();
+        sub = shape.aggregate->last_group_sub();
+      } else if (shape.filter_join != nullptr) {
+        pos = shape.filter_join->last_probe_global_pos();
+      } else {
+        pos = shape.driving_scan->last_global_row();
+      }
+      Status ss = stage(std::move(t), pos, sub);
+      if (!ss.ok()) return fail(std::move(ss));
+      // Morsel-loop cancellation checkpoint (the driving scan also checks at
+      // every morsel claim; this covers probe-heavy plans between claims).
+      if ((++rows_staged & 1023) == 0) {
+        Status cc = ctx->CheckCancelled();
+        if (!cc.ok()) return fail(std::move(cc));
+      }
     }
   }
   if (run->spilled != nullptr) {
@@ -249,6 +286,7 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
     ctx.set_cancel_token(options.cancel_token);
     ctx.set_memory_budget_bytes(memory_budget_bytes);
     ctx.set_memory_tracker(options.memory_tracker);
+    ctx.set_batch_size(options.batch_size);
   }
   MAGICDB_ASSIGN_OR_RETURN(result.rows,
                            ExecuteToVector(staged.stream_root.get(), &ctx));
@@ -373,6 +411,7 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
     contexts[w].set_memory_budget_bytes(memory_budget_bytes);
     contexts[w].set_memory_tracker(options.memory_tracker);
     contexts[w].set_spill_manager(options.spill_manager);
+    contexts[w].set_batch_size(options.batch_size);
     Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
                             &runs[w]);
     if (!st.ok()) abort_all(st);

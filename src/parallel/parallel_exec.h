@@ -39,6 +39,12 @@ struct ParallelRunOptions {
   /// query this lets workers flush staged gather rows to disk instead of
   /// failing the gang on a memory breach. Null = no spilling.
   std::shared_ptr<SpillManager> spill_manager;
+
+  /// Vectorized execution: rows-per-batch for every worker's ExecContext
+  /// (and the fallback drain). 0 = tuple-at-a-time. Results and merged
+  /// counters are byte-identical either way; pipelines containing a Filter
+  /// Join always drain row-at-a-time (its position provider is per-row).
+  int64_t batch_size = 0;
 };
 
 /// Outcome of one (possibly parallel) pipeline execution.

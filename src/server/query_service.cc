@@ -13,6 +13,7 @@
 #include "src/common/failpoint.h"
 #include "src/common/random.h"
 #include "src/exec/exec_context.h"
+#include "src/exec/row_batch.h"
 #include "src/parallel/parallel_exec.h"
 #include "src/spill/spill_manager.h"
 
@@ -67,6 +68,9 @@ struct StreamProducer {
   OpPtr tree;
   ExecContext ctx;
   bool opened = false;
+  /// Vectorized pump: the reusable batch the quantum loop pulls into when
+  /// ctx.batch_size() > 0 (lazily allocated on the first quantum).
+  std::unique_ptr<RowBatch> row_batch;
   /// Final counters/FilterJoin phases were stored in the cursor at Open
   /// (parallel staged execution); FinishProducer must not overwrite them.
   bool counters_preset = false;
@@ -141,6 +145,9 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
     if (const char* env = std::getenv("MAGICDB_TEST_SPILL_DIR")) {
       options_.spill_dir = env;
     }
+  }
+  if (options_.default_batch_size < 0) {
+    options_.default_batch_size = DefaultExecBatchSize();
   }
   if (!options_.spill_dir.empty()) {
     SpillConfig spill_config;
@@ -325,11 +332,31 @@ void QueryService::PumpQuantum(const std::shared_ptr<StreamProducer>& p) {
       p->opened = status.ok();
     }
     if (status.ok()) {
-      for (int64_t i = 0; i < options_.scheduler_quantum_rows; ++i) {
-        Tuple t;
-        status = p->tree->Next(&t, &eof);
-        if (!status.ok() || eof) break;
-        batch.push_back(std::move(t));
+      if (p->ctx.batch_size() > 0) {
+        // Vectorized pump. The pump batch is capped at the scheduler
+        // quantum, and another batch is pulled only while a full one still
+        // fits, so one quantum never delivers more rows than the
+        // tuple-at-a-time pump would — the cursor's peak-buffered-rows
+        // bound stays batch-size independent.
+        const int64_t cap = std::min<int64_t>(
+            p->ctx.batch_size(), options_.scheduler_quantum_rows);
+        if (p->row_batch == nullptr) {
+          p->row_batch = std::make_unique<RowBatch>(static_cast<int32_t>(cap));
+        }
+        while (static_cast<int64_t>(batch.size()) + cap <=
+               options_.scheduler_quantum_rows) {
+          status = p->tree->NextBatch(p->row_batch.get(), &eof);
+          if (!status.ok()) break;
+          p->row_batch->MoveActiveToTuples(&batch);
+          if (eof) break;
+        }
+      } else {
+        for (int64_t i = 0; i < options_.scheduler_quantum_rows; ++i) {
+          Tuple t;
+          status = p->tree->Next(&t, &eof);
+          if (!status.ok() || eof) break;
+          batch.push_back(std::move(t));
+        }
       }
     }
     if (status.ok() && eof) {
@@ -435,7 +462,14 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
 
     const OptimizerOptions& opts = session->options();
     const int64_t epoch = db_->catalog()->ddl_epoch();
-    const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql;
+    // The effective batch size keys the cache alongside the optimizer
+    // options: a pooled instance must never resume with mid-stream batch
+    // state from a different execution mode.
+    const int64_t effective_batch = exec.batch_size < 0
+                                        ? options_.default_batch_size
+                                        : exec.batch_size;
+    const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql +
+                            "\nbatch=" + std::to_string(effective_batch);
 
     CachedPlanMeta meta;
     OpPtr instance;
@@ -497,6 +531,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     producer->ctx.set_memory_budget_bytes(opts.memory_budget_bytes);
     producer->ctx.set_cancel_token(token);
     producer->ctx.set_memory_tracker(state->memory_tracker);
+    producer->ctx.set_batch_size(effective_batch);
     // Out-of-core degradation is offered only to governed queries that did
     // not opt out, and only when the service has a spill area. An
     // ungoverned query never breaches, so the manager would be inert.
@@ -528,6 +563,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       run_options.shared_pool = pool_.get();
       run_options.cancel_token = token;
       run_options.memory_tracker = state->memory_tracker;
+      run_options.batch_size = effective_batch;
       if (spill_active) run_options.spill_manager = spill_manager_;
       StatusOr<StagedStream> staged_or = executor.RunStaged(
           std::move(replicas), opts.memory_budget_bytes, run_options);

@@ -72,6 +72,14 @@ struct QueryServiceOptions {
   /// buffer memory, which is itself charged to the query. 0 = the
   /// SpillConfig default.
   int64_t spill_batch_bytes = 0;
+
+  /// Default rows-per-batch of the vectorized execution path, applied to
+  /// queries that leave ExecOptions::batch_size negative. 0 runs every
+  /// query tuple-at-a-time. Negative (the default) resolves to 1024 at
+  /// construction — or to the MAGICDB_TEST_BATCH_SIZE environment variable
+  /// when set, so a build-script sweep can force batching on or off for
+  /// every service in the process without touching call sites.
+  int64_t default_batch_size = -1;
 };
 
 /// Point-in-time view of the service counters (see also MetricsText()).

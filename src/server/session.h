@@ -57,6 +57,16 @@ struct ExecOptions {
   /// (QueryServiceOptions::spill_dir); false keeps the hard
   /// kResourceExhausted failure even then.
   bool allow_spill = true;
+
+  /// Rows per batch for the vectorized execution path (Operator::NextBatch):
+  /// operators exchange column-oriented batches instead of single tuples,
+  /// with memory charges and cancellation checks coalesced per batch.
+  /// Results, result order, and cost counters are byte-identical to the
+  /// tuple-at-a-time path at any dop. 0 = classic tuple-at-a-time
+  /// execution; negative (the default) = the service default
+  /// (QueryServiceOptions::default_batch_size, normally 1024). The
+  /// effective value participates in the plan-cache key.
+  int64_t batch_size = -1;
 };
 
 /// One client's connection to a QueryService: per-session optimizer
