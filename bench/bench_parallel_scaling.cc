@@ -254,6 +254,178 @@ void PrintBatchVsRow(bool smoke, Json* json_results) {
   std::cout << "(rows and counters verified identical between modes)\n\n";
 }
 
+// ----- Adaptive re-optimization bake-off (DP vs greedy vs adaptive) -----
+
+/// One (backend, adaptive, dop) cell of the bake-off.
+struct BakeoffCell {
+  QueryResult first;       // repetition 0: pays any feedback-driven re-plan
+  QueryResult steady;      // final repetition: plans from the feedback store
+  double median_ms = 0.0;  // over all repetitions
+  double first_ms = 0.0;
+  double steady_ms = 0.0;  // median over repetitions after the first
+  int64_t reoptimizations = 0;  // summed over repetitions
+};
+
+BakeoffCell RunBakeoffCell(Database* db, const char* query,
+                           const char* backend, bool adaptive, int dop) {
+  // Each cell starts from a cold feedback store so every cell observes the
+  // same estimate error and the dop sweep stays rep-for-rep comparable.
+  db->feedback_store()->Clear();
+  db->mutable_optimizer_options()->join_order_backend = backend;
+  BakeoffCell cell;
+  std::vector<double> all_ms, steady_ms;
+  for (int r = 0; r < g_repetitions; ++r) {
+    ExecOptions eo;
+    eo.dop = dop;
+    eo.reoptimize_qerror_threshold = adaptive ? 2.0 : 0.0;
+    eo.persist_feedback = adaptive;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = db->Run(query, eo);
+    const auto t1 = std::chrono::steady_clock::now();
+    MAGICDB_CHECK_OK(result.status());
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    all_ms.push_back(ms);
+    if (r > 0) steady_ms.push_back(ms);
+    cell.reoptimizations += result->reoptimizations;
+    if (r == 0) {
+      cell.first_ms = ms;
+      cell.first = *result;
+    }
+    if (r == g_repetitions - 1) cell.steady = std::move(*result);
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  std::sort(steady_ms.begin(), steady_ms.end());
+  cell.median_ms = all_ms[all_ms.size() / 2];
+  cell.steady_ms = steady_ms.empty() ? cell.first_ms
+                                     : steady_ms[steady_ms.size() / 2];
+  return cell;
+}
+
+/// Same answer set regardless of join order: order-insensitive comparison
+/// for results produced by different plans.
+void CheckSameMultiset(const QueryResult& a, const QueryResult& b) {
+  MAGICDB_CHECK(a.rows.size() == b.rows.size());
+  auto sorted = [](const QueryResult& r) {
+    std::vector<Tuple> rows = r.rows;
+    std::sort(rows.begin(), rows.end(),
+              [](const Tuple& x, const Tuple& y) {
+                return CompareTuples(x, y) < 0;
+              });
+    return rows;
+  };
+  const std::vector<Tuple> sa = sorted(a), sb = sorted(b);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    MAGICDB_CHECK(CompareTuples(sa[i], sb[i]) == 0);
+  }
+}
+
+/// The join-order bake-off on the skewed chain (see SkewedChainOptions):
+/// static DP and static greedy plan from the 10x-wrong independence
+/// estimate every time; the adaptive arm (DP backend + cardinality
+/// feedback) aborts its first attempt at the first hash-join build, folds
+/// the observed cardinality into an overlay, re-plans, and persists the
+/// observation so later repetitions plan correctly from the start.
+///
+/// Asserted on every run: within an arm, rows and merged cost counters are
+/// byte-identical across DoP (repetition-for-repetition, so restarted and
+/// steady-state executions are both covered, re-opt on and off), and every
+/// arm produces the same answer multiset.
+void PrintAdaptiveBakeoff(bool smoke, Json* json_results) {
+  SkewedChainOptions w;
+  if (smoke) {
+    w.fact_rows = 8000;
+    w.keys = 900;
+  }
+  auto db = MakeSkewedChainDatabase(w);
+  auto* options = db->mutable_optimizer_options();
+  // Pure hash-join territory: the bake-off compares join orders, not
+  // methods.
+  options->magic_mode = OptimizerOptions::MagicMode::kNever;
+  options->filter_join_on_stored = false;
+  options->enable_nested_loops = false;
+  options->enable_index_nested_loops = false;
+  options->enable_sort_merge = false;
+  // A small planning budget makes the HashSpill term price every
+  // over-budget build side, so the optimizer strictly prefers building the
+  // smaller input. Without it, build and probe cost the same per row and
+  // tied build-side choices break arbitrarily. Execution keeps its own
+  // default budget (ExecContext's), so runtime behavior is unchanged.
+  options->memory_budget_bytes = 64 * 1024;
+
+  const struct {
+    const char* arm;
+    const char* backend;
+    bool adaptive;
+  } arms[] = {
+      {"dp_static", "dp", false},
+      {"greedy_static", "greedy", false},
+      {"dp_adaptive", "dp", true},
+  };
+  const std::vector<int> dops = smoke ? std::vector<int>{1, 2}
+                                      : std::vector<int>{1, 4};
+
+  std::cout << "=== Adaptive re-optimization bake-off, skewed chain (Fact="
+            << w.fact_rows << ", Mid=" << w.keys * w.mid_fanout
+            << ", filter underestimated 10x) ===\n\n";
+  TablePrinter table({"arm", "dop", "first_ms", "steady_ms", "median_ms",
+                      "reopts", "rows"});
+  const QueryResult* reference = nullptr;
+  QueryResult reference_storage;
+  for (const auto& arm : arms) {
+    BakeoffCell base;
+    for (size_t d = 0; d < dops.size(); ++d) {
+      BakeoffCell cell =
+          RunBakeoffCell(db.get(), kSkewedChainQuery, arm.backend,
+                         arm.adaptive, dops[d]);
+      if (d == 0) {
+        // Each arm's own restarted (first) and steady-state (last)
+        // executions must be byte-identical at every dop, counters
+        // included — aborted attempts never leak work into the totals.
+        base = cell;
+      } else {
+        CheckIdentical(base.first, cell.first);
+        CheckIdentical(base.steady, cell.steady);
+        MAGICDB_CHECK(cell.reoptimizations == base.reoptimizations);
+      }
+      table.AddRow({arm.arm, std::to_string(dops[d]), Fmt(cell.first_ms),
+                    Fmt(cell.steady_ms), Fmt(cell.median_ms),
+                    std::to_string(cell.reoptimizations),
+                    std::to_string(cell.steady.rows.size())});
+      if (json_results != nullptr) {
+        json_results->Append(
+            Json::Object()
+                .Set("arm", arm.arm)
+                .Set("backend", arm.backend)
+                .Set("adaptive", arm.adaptive)
+                .Set("dop", dops[d])
+                .Set("wall_ms_first", cell.first_ms)
+                .Set("wall_ms_steady", cell.steady_ms)
+                .Set("wall_ms_median", cell.median_ms)
+                .Set("reoptimizations", cell.reoptimizations)
+                .Set("rows", static_cast<int64_t>(cell.steady.rows.size())));
+      }
+    }
+    if (std::getenv("MAGICDB_BENCH_DEBUG_EXPLAIN") != nullptr) {
+      std::cout << "--- " << arm.arm << " first plan ---\n"
+                << base.first.explain << "\n--- " << arm.arm
+                << " steady plan ---\n"
+                << base.steady.explain << "\n";
+    }
+    if (reference == nullptr) {
+      reference_storage = std::move(base.steady);
+      reference = &reference_storage;
+    } else {
+      CheckSameMultiset(*reference, base.steady);
+    }
+    MAGICDB_CHECK(arm.adaptive ? base.reoptimizations > 0
+                               : base.reoptimizations == 0);
+  }
+  table.Print();
+  std::cout << "(rows byte-identical across dop within each arm, same "
+               "multiset across arms)\n\n";
+}
+
 void PrintScaling(bool smoke, const std::string& json_path) {
   std::cout << "hardware threads detected: "
             << std::thread::hardware_concurrency()
@@ -274,6 +446,8 @@ void PrintScaling(bool smoke, const std::string& json_path) {
       "group_by_high_cardinality", kGroupByHighCardQuery, smoke, out);
   Json batch_results = Json::Array();
   PrintBatchVsRow(smoke, json_path.empty() ? nullptr : &batch_results);
+  Json bakeoff_results = Json::Array();
+  PrintAdaptiveBakeoff(smoke, json_path.empty() ? nullptr : &bakeoff_results);
   if (out != nullptr) {
     Json doc = Json::Object()
                    .Set("benchmark", "bench_parallel_scaling")
@@ -283,7 +457,8 @@ void PrintScaling(bool smoke, const std::string& json_path) {
                    .Set("repetitions", static_cast<int64_t>(g_repetitions))
                    .Set("smoke", smoke)
                    .Set("results", std::move(results))
-                   .Set("batch_vs_row", std::move(batch_results));
+                   .Set("batch_vs_row", std::move(batch_results))
+                   .Set("adaptive_bakeoff", std::move(bakeoff_results));
     if (WriteJsonFile(json_path, doc)) {
       std::cout << "JSON results written to " << json_path << "\n";
     }

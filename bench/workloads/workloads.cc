@@ -187,6 +187,42 @@ std::unique_ptr<Database> MakeUdrDatabase(const UdrOptions& opts) {
   return db;
 }
 
+const char* kSkewedChainQuery =
+    "SELECT F.k, R.w FROM Mid M, Fact F, Red R "
+    "WHERE F.k = M.k AND M.j = R.j AND F.a < 1 AND F.b < 1";
+
+std::unique_ptr<Database> MakeSkewedChainDatabase(
+    const SkewedChainOptions& opts) {
+  auto db = std::make_unique<Database>();
+  MAGICDB_CHECK_OK(db->Execute("CREATE TABLE Fact (k INT, a INT, b INT)"));
+  MAGICDB_CHECK_OK(db->Execute("CREATE TABLE Mid (k INT, j INT)"));
+  MAGICDB_CHECK_OK(db->Execute("CREATE TABLE Red (j INT, w INT)"));
+  std::vector<Tuple> fact, mid, red;
+  fact.reserve(opts.fact_rows);
+  // a == b on every row: each predicate alone passes 10% and the histogram
+  // knows it, but the conjunction also passes 10% where independence
+  // predicts 1%.
+  for (int i = 0; i < opts.fact_rows; ++i) {
+    fact.push_back({Value::Int64(i % opts.keys), Value::Int64(i % 10),
+                    Value::Int64(i % 10)});
+  }
+  mid.reserve(static_cast<size_t>(opts.keys) * opts.mid_fanout);
+  for (int k = 0; k < opts.keys; ++k) {
+    for (int t = 0; t < opts.mid_fanout; ++t) {
+      const int64_t j = static_cast<int64_t>(k) * opts.mid_fanout + t;
+      mid.push_back({Value::Int64(k), Value::Int64(j)});
+      if (j % opts.red_every == 0) {
+        red.push_back({Value::Int64(j), Value::Int64(j * 3)});
+      }
+    }
+  }
+  MAGICDB_CHECK_OK(db->LoadRows("Fact", std::move(fact)));
+  MAGICDB_CHECK_OK(db->LoadRows("Mid", std::move(mid)));
+  MAGICDB_CHECK_OK(db->LoadRows("Red", std::move(red)));
+  MAGICDB_CHECK_OK(db->catalog()->AnalyzeAll());
+  return db;
+}
+
 std::unique_ptr<Database> MakeStarDatabase(const StarOptions& opts) {
   auto db = std::make_unique<Database>();
   // Fact(d0, d1, ..., measure)

@@ -91,6 +91,34 @@ std::unique_ptr<Database> MakeUdrDatabase(const UdrOptions& opts);
 
 extern const char* kUdrQuery;
 
+/// Skewed three-table chain for the adaptive re-optimization bake-off:
+/// Fact(k, a, b) carries a == b on every row, so the conjunctive filter
+/// `F.a < 1 AND F.b < 1` is 10x underestimated under the optimizer's
+/// independence assumption (1% estimated, 10% actual). Mid(k, j) expands
+/// every Fact key by `mid_fanout`; Red(j, w) keeps only every
+/// `red_every`-th j value. Planned from the estimate, driving the joins
+/// from the "tiny" filtered Fact looks cheapest; with the true
+/// cardinality that order materializes a `mid_fanout`-times exploded
+/// intermediate, and reducing Mid by Red first is far cheaper. The gap
+/// between those two orders is exactly what runtime cardinality feedback
+/// recovers.
+struct SkewedChainOptions {
+  int fact_rows = 40000;
+  int keys = 4500;      // distinct k in Fact and Mid
+  int mid_fanout = 10;  // Mid rows per key
+  int red_every = 7;    // Red keeps every red_every-th j value
+};
+
+std::unique_ptr<Database> MakeSkewedChainDatabase(
+    const SkewedChainOptions& opts);
+
+/// Chain query over the skewed schema. Run it with a planning memory
+/// budget small enough that every build side is priced by the HashSpill
+/// term: the optimizer then strictly builds the smaller input, which puts
+/// the underestimated filtered Fact on the observable (build) side of its
+/// first hash join.
+extern const char* kSkewedChainQuery;
+
 /// Star-schema generator for the optimizer-complexity experiment (E7):
 /// a fact table joined with `num_dims` dimension tables, optionally turning
 /// some dimensions into views.

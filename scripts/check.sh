@@ -2,7 +2,11 @@
 # Build gate for the concurrent subsystems (src/parallel, src/server) and
 # the vectorized execution path (MAGICDB_TEST_BATCH_SIZE sweeps rerun the
 # full suite tuple-at-a-time and at an odd batch size; the default runs
-# cover the 1024-row batch mode):
+# cover the 1024-row batch mode) and the adaptive re-optimization path
+# (MAGICDB_TEST_REOPT_QERROR sweeps rerun the full suite with feedback-driven
+# plan restarts forced maximally aggressive and explicitly disabled, under
+# Release and TSAN — restarts must never change results and must be race-free
+# when the parallel retry loop re-plans gangs of replicas):
 #   1. Release build, full test suite (correctness + cost-identity tests),
 #      plus a smoke run of bench_parallel_scaling (DoP {1,2}) whose
 #      byte-identity and counter-identity assertions cover the parallel
@@ -62,6 +66,21 @@ MAGICDB_TEST_BATCH_SIZE=7 \
   ctest --test-dir build-release --output-on-failure --timeout 120 \
         -j "${JOBS}" "$@"
 
+# Adaptive re-optimization sweep: rerun the full suite with runtime
+# cardinality feedback forced maximally aggressive (any estimation error
+# restarts planning at every pipeline breaker) and explicitly off. The
+# suite's byte-identity assertions verify that restart-based re-planning
+# never changes results; only tests that pin their own threshold opt out.
+echo "=== Release suite, re-optimization forced aggressive ==="
+MAGICDB_TEST_REOPT_QERROR=1.0 \
+  ctest --test-dir build-release --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
+
+echo "=== Release suite, re-optimization forced off ==="
+MAGICDB_TEST_REOPT_QERROR=0 \
+  ctest --test-dir build-release --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
+
 echo "=== Parallel-scaling bench smoke (Release, DoP 2) ==="
 ./build-release/bench/bench_parallel_scaling --smoke
 
@@ -73,6 +92,11 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan --output-on-failure --timeout 120 -j "${JOBS}" "$@"
+
+echo "=== TSAN suite, re-optimization forced aggressive ==="
+MAGICDB_TEST_REOPT_QERROR=1.0 \
+  ctest --test-dir build-tsan --output-on-failure --timeout 120 \
+        -j "${JOBS}" "$@"
 
 echo "=== Parallel-scaling bench smoke (TSAN, DoP 2) ==="
 ./build-tsan/bench/bench_parallel_scaling --smoke

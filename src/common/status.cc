@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kReoptimizeRequested:
+      return "ReoptimizeRequested";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode {
   kUnavailable,
   kFailedPrecondition,
   kResourceExhausted,
+  /// Not an error in the usual sense: a pipeline breaker observed a
+  /// cardinality far enough from its estimate that the driver should abort
+  /// this execution attempt, fold the observation into a stats overlay, and
+  /// re-plan the query (see DESIGN.md "Adaptive re-optimization").
+  kReoptimizeRequested,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -88,10 +93,16 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status ReoptimizeRequested(std::string msg) {
+    return Status(StatusCode::kReoptimizeRequested, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsReoptimizeRequested() const {
+    return code_ == StatusCode::kReoptimizeRequested;
   }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

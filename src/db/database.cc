@@ -121,7 +121,14 @@ StatusOr<PlannedSelect> Database::PlanSelect(
 
 StatusOr<PlannedSelect> Database::PlanBound(
     const BoundSelect& bound, const OptimizerOptions& options) const {
+  return PlanBound(bound, options, nullptr);
+}
+
+StatusOr<PlannedSelect> Database::PlanBound(
+    const BoundSelect& bound, const OptimizerOptions& options,
+    const CardinalityOverlay* overlay) const {
   Optimizer optimizer(&catalog_, options);
+  optimizer.set_cardinality_overlay(overlay);
   MAGICDB_ASSIGN_OR_RETURN(OptimizedPlan optimized,
                            optimizer.Optimize(bound.plan));
   PlannedSelect planned;
@@ -151,43 +158,71 @@ void CollectFilterJoinMeasured(const Operator& root,
 }
 
 StatusOr<QueryResult> Database::Query(const std::string& sql) {
-  MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
-                           PlanSelect(sql, optimizer_options_));
-  QueryResult result;
-  result.schema = planned.schema;
-  result.explain = std::move(planned.explain);
-  result.est_cost = planned.est_cost;
-  result.est_rows = planned.est_rows;
-  result.filter_joins = std::move(planned.filter_joins);
-  result.optimizer_stats = planned.optimizer_stats;
-
-  ExecContext ctx;
-  ctx.set_memory_budget_bytes(optimizer_options_.memory_budget_bytes);
-  ctx.set_batch_size(exec_batch_size_);
-  MAGICDB_ASSIGN_OR_RETURN(result.rows,
-                           ExecuteToVector(planned.root.get(), &ctx));
-  result.counters = ctx.counters();
-  // Collect measured per-phase Filter Join costs from the executed tree.
-  CollectFilterJoinMeasured(*planned.root, &result.filter_join_measured);
-  return result;
+  return Run(sql);
 }
 
 StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
                                                 int dop) {
+  ExecOptions options;
+  options.dop = dop;
+  return Run(sql, options);
+}
+
+StatusOr<QueryResult> Database::Run(const std::string& sql,
+                                    const ExecOptions& options) {
+  int dop = options.dop;
   if (dop <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     dop = hw > 0 ? static_cast<int>(hw) : 1;
   }
   MAGICDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(sql));
 
-  // One optimizer pass per worker replica: Optimize() is deterministic, so
-  // the trees are isomorphic and the executor verifies that before wiring
-  // shared state into them. Planning always uses the session options (the
-  // degree_of_parallelism costing knob included), never the execution dop —
-  // every dop must run the identical plan or the counter-identity guarantee
-  // would be comparing different plans.
+  const double threshold =
+      ResolveReoptQErrorThreshold(options.reoptimize_qerror_threshold);
+  // One ledger for the whole query: observations survive re-optimization
+  // restarts (first record per key wins, so re-executions keep the original
+  // wrong-estimate evidence) and end up in QueryResult::feedback.
+  auto ledger = std::make_shared<CardinalityFeedback>();
+  // Start from what earlier persisting queries learned; attempts add their
+  // own observations on top.
+  CardinalityOverlay overlay = feedback_store_.Snapshot();
+
+  const int max_attempts = 1 + std::max(0, options.max_reoptimizations);
+  for (int attempt = 0;; ++attempt) {
+    // The final permitted attempt runs with triggering disabled, so the
+    // loop always terminates with a completed execution.
+    const bool last = attempt + 1 >= max_attempts;
+    StatusOr<QueryResult> r = RunAttempt(bound, dop, options, overlay, ledger,
+                                         last ? 0.0 : threshold);
+    if (r.ok()) {
+      r->reoptimizations = attempt;
+      r->feedback = ledger->Snapshot();
+      if (options.persist_feedback) {
+        feedback_store_.Fold(r->feedback);
+      }
+      return r;
+    }
+    if (!r.status().IsReoptimizeRequested()) return r.status();
+    // Fold every exact overlay-eligible observation into the overlay for
+    // the re-plan, and suppress its key: the corrected estimate makes the
+    // observation consistent, so re-triggering on it would be a planning
+    // no-op (the suppression set is only ever mutated here, between
+    // attempts — never while a gang is running).
+    for (const CardinalityObservation& obs : ledger->Snapshot()) {
+      if (!obs.exact || !IsOverlayKey(obs.key)) continue;
+      overlay.rows[obs.key] = obs.actual;
+      ledger->SuppressKey(obs.key);
+    }
+  }
+}
+
+StatusOr<QueryResult> Database::RunAttempt(
+    const BoundSelect& bound, int dop, const ExecOptions& options,
+    const CardinalityOverlay& overlay,
+    const std::shared_ptr<CardinalityFeedback>& ledger, double threshold) {
+  const CardinalityOverlay* ov = overlay.empty() ? nullptr : &overlay;
   MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
-                           PlanBound(bound, optimizer_options_));
+                           PlanBound(bound, optimizer_options_, ov));
 
   QueryResult result;
   result.schema = planned.schema;
@@ -197,34 +232,68 @@ StatusOr<QueryResult> Database::ExecuteParallel(const std::string& sql,
   result.filter_joins = std::move(planned.filter_joins);
   result.optimizer_stats = planned.optimizer_stats;
 
+  // Prototype execution environment every attempt context inherits. The
+  // memory tracker is per-attempt: an aborted attempt's charges must not
+  // linger into the re-execution.
+  ExecContext proto;
+  proto.set_memory_budget_bytes(optimizer_options_.memory_budget_bytes);
+  proto.set_batch_size(options.batch_size < 0 ? exec_batch_size_
+                                              : options.batch_size);
+  CancelTokenPtr token = options.cancel_token;
+  if (options.timeout.count() > 0) {
+    if (token == nullptr) token = std::make_shared<CancelToken>();
+    if (!token->has_deadline()) token->SetTimeout(options.timeout);
+  }
+  proto.set_cancel_token(std::move(token));
+  if (options.memory_limit_bytes > 0) {
+    proto.set_memory_tracker(
+        std::make_shared<MemoryTracker>(options.memory_limit_bytes));
+  }
+  proto.set_cardinality_feedback(ledger);
+  proto.set_reoptimize_qerror_threshold(threshold);
+
+  // LIMIT cuts the stream early; workers would race for the quota, so it
+  // runs sequentially (the shape analyzer would reject LimitOp anyway —
+  // this path just avoids planning dop replicas for nothing).
+  const bool has_limit = bound.limit >= 0;
+  if (dop <= 1 || has_limit) {
+    ExecContext ctx;
+    ctx.InheritConfig(proto);
+    MAGICDB_ASSIGN_OR_RETURN(result.rows,
+                             ExecuteToVector(planned.root.get(), &ctx));
+    result.counters = ctx.counters();
+    // Collect measured per-phase Filter Join costs from the executed tree.
+    CollectFilterJoinMeasured(*planned.root, &result.filter_join_measured);
+    if (has_limit && dop > 1) {
+      result.parallel_fallback_reason = "LIMIT clause";
+    }
+    return result;
+  }
+
+  // One optimizer pass per worker replica: Optimize() is deterministic
+  // (under the same overlay), so the trees are isomorphic and the executor
+  // verifies that before wiring shared state into them. Planning always
+  // uses the session options (the degree_of_parallelism costing knob
+  // included), never the execution dop — every dop must run the identical
+  // plan or the counter-identity guarantee would be comparing different
+  // plans.
   std::vector<OpPtr> replicas;
   replicas.push_back(std::move(planned.root));
-  // LIMIT cuts the stream early; workers would race for the quota, so run
-  // it sequentially (the analyzer would reject LimitOp anyway — this path
-  // just avoids planning dop replicas for nothing). PlanBound already
-  // wrapped replicas[0] in the LimitOp.
-  const bool has_limit = bound.limit >= 0;
-  if (!has_limit && dop > 1 &&
-      ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
+  if (ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
     for (int w = 1; w < dop; ++w) {
       MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
-                               PlanBound(bound, optimizer_options_));
+                               PlanBound(bound, optimizer_options_, ov));
       replicas.push_back(std::move(replica.root));
     }
   }
 
-  ParallelExecutor executor(has_limit ? 1 : dop);
-  ParallelRunOptions run_options;
-  run_options.batch_size = exec_batch_size_;
-  MAGICDB_ASSIGN_OR_RETURN(
-      ParallelRunResult run,
-      executor.Run(std::move(replicas),
-                   optimizer_options_.memory_budget_bytes, run_options));
+  ParallelExecutor executor(dop);
+  MAGICDB_ASSIGN_OR_RETURN(ParallelRunResult run,
+                           executor.Run(std::move(replicas), proto));
   result.rows = std::move(run.rows);
   result.counters = run.counters;
   result.used_dop = run.used_dop;
-  result.parallel_fallback_reason =
-      has_limit ? "LIMIT clause" : std::move(run.fallback_reason);
+  result.parallel_fallback_reason = std::move(run.fallback_reason);
   if (run.has_filter_join) {
     result.filter_join_measured.push_back(run.filter_join_measured);
   }

@@ -7,10 +7,13 @@
 
 #include "src/catalog/catalog.h"
 #include "src/common/statusor.h"
+#include "src/exec/cardinality_feedback.h"
+#include "src/exec/exec_options.h"
 #include "src/exec/filter_join_op.h"
 #include "src/exec/operator.h"
 #include "src/exec/row_batch.h"
 #include "src/optimizer/optimizer.h"
+#include "src/stats/feedback_store.h"
 
 namespace magicdb {
 
@@ -36,6 +39,14 @@ struct QueryResult {
   int used_dop = 1;
   /// Why ExecuteParallel ran single-threaded; empty when it ran parallel.
   std::string parallel_fallback_reason;
+
+  /// How many times runtime cardinality feedback re-planned this query
+  /// before it ran to completion (0 = the first plan survived).
+  int reoptimizations = 0;
+
+  /// Every breaker cardinality observed while executing (final attempt plus
+  /// any aborted ones; first observation per key wins).
+  std::vector<CardinalityObservation> feedback;
 
   /// Pretty-prints rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;
@@ -103,18 +114,34 @@ class Database {
   /// Bulk-loads rows into a table and refreshes its statistics.
   Status LoadRows(const std::string& table, std::vector<Tuple> rows);
 
-  /// Parses, binds, optimizes and runs a SELECT.
+  /// Parses, binds, optimizes and runs a SELECT — the one execution entry
+  /// point. `options.dop` selects sequential (1, the default) or
+  /// morsel-parallel execution (> 1 when the plan shape allows, falling
+  /// back to sequential otherwise; <= 0 = hardware concurrency); results
+  /// and merged cost counters are byte-identical at any dop. When
+  /// `options.reoptimize_qerror_threshold` resolves to a positive value
+  /// (see ExecOptions), pipeline-breaker cardinalities whose q-error
+  /// exceeds it abort the attempt, fold the observed counts into a
+  /// cardinality overlay, and re-plan — bounded by
+  /// `options.max_reoptimizations`, with the final attempt always running
+  /// to completion. The plan is chosen with the session's OptimizerOptions
+  /// — including its degree_of_parallelism costing knob — NOT with
+  /// `options.dop`, so every dop executes the identical plan.
+  StatusOr<QueryResult> Run(const std::string& sql,
+                            const ExecOptions& options = {});
+
+  /// DEPRECATED: thin wrapper over Run(sql) (sequential). Prefer Run().
   StatusOr<QueryResult> Query(const std::string& sql);
 
-  /// Like Query(), but runs the plan on `dop` morsel-driven workers when
-  /// its shape is parallel-safe (falling back to sequential execution
-  /// otherwise; see QueryResult::parallel_fallback_reason). `dop` <= 0 uses
-  /// the hardware concurrency. Results are byte-identical to Query() and
-  /// the merged cost counters equal a single-threaded execution's. The
-  /// plan is chosen with the session's OptimizerOptions — including its
-  /// degree_of_parallelism costing knob — NOT with `dop`, so every `dop`
-  /// executes the identical plan (set the knob yourself to steer costing).
+  /// DEPRECATED: thin wrapper over Run() with `options.dop = dop`. Prefer
+  /// Run().
   StatusOr<QueryResult> ExecuteParallel(const std::string& sql, int dop = 0);
+
+  /// Cross-query cardinality feedback: queries run with
+  /// ExecOptions::persist_feedback fold their exact scan/view observations
+  /// here, and every subsequent Run plans against a snapshot of it.
+  FeedbackStore* feedback_store() { return &feedback_store_; }
+  const FeedbackStore* feedback_store() const { return &feedback_store_; }
 
   /// Plans a SELECT without running it; returns the EXPLAIN text.
   StatusOr<std::string> Explain(const std::string& sql);
@@ -140,10 +167,24 @@ class Database {
   StatusOr<PlannedSelect> PlanBound(const BoundSelect& bound,
                                     const OptimizerOptions& options) const;
 
+  /// As above, planning against an observed-cardinality overlay (nullptr =
+  /// none). The overlay must outlive the call; plans produced under a
+  /// non-empty overlay are attempt-specific and must not be cached.
+  StatusOr<PlannedSelect> PlanBound(const BoundSelect& bound,
+                                    const OptimizerOptions& options,
+                                    const CardinalityOverlay* overlay) const;
+
  private:
+  /// One planning+execution attempt of Run's adaptive loop.
+  StatusOr<QueryResult> RunAttempt(
+      const BoundSelect& bound, int dop, const ExecOptions& options,
+      const CardinalityOverlay& overlay,
+      const std::shared_ptr<CardinalityFeedback>& ledger, double threshold);
+
   Catalog catalog_;
   OptimizerOptions optimizer_options_;
   int64_t exec_batch_size_ = DefaultExecBatchSize();
+  FeedbackStore feedback_store_;
 };
 
 }  // namespace magicdb

@@ -404,6 +404,12 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
       scalar.states.resize(aggs_.size());
       groups_.push_back(std::move(scalar));
     }
+    if (!feedback_key_.empty()) {
+      MAGICDB_RETURN_IF_ERROR(ctx->RecordCardinality(
+          feedback_key_, "aggregate_build", feedback_est_groups_,
+          static_cast<double>(groups_.size()), /*exact=*/true,
+          /*can_trigger=*/false));
+    }
     aggregated_ = true;
     return Status::OK();
   }

@@ -79,6 +79,15 @@ class HashAggregateOp final : public Operator {
   int64_t last_group_pos() const { return last_group_pos_; }
   int64_t last_group_sub() const { return last_group_sub_; }
 
+  /// Cardinality-feedback annotation: the optimizer's group-count estimate.
+  /// Sequential Open() records the observed group count into the context
+  /// ledger as an observation-only entry (parallel partials are
+  /// worker-local, so the parallel path does not record).
+  void AnnotateGroupCardinality(std::string key, double estimated_groups) {
+    feedback_key_ = std::move(key);
+    feedback_est_groups_ = estimated_groups;
+  }
+
  private:
   Status Accumulate(const Tuple& row, StagedGroup* group);
   /// Folds one already-evaluated argument value into an aggregate state —
@@ -129,6 +138,10 @@ class HashAggregateOp final : public Operator {
   // Vectorized path: coalesced new-group memory charges (one tracker round
   // trip per reservation chunk instead of per group).
   BatchReserve group_reserve_;
+  // Cardinality-feedback annotation (AnnotateGroupCardinality); key empty =
+  // not annotated.
+  std::string feedback_key_;
+  double feedback_est_groups_ = 0.0;
 
   // Parallel mode (EnableParallel); null/unused when sequential.
   std::shared_ptr<SharedAggregate> shared_;

@@ -1,0 +1,32 @@
+#include "src/exec/cardinality_feedback.h"
+
+namespace magicdb {
+
+void CardinalityFeedback::Record(const CardinalityObservation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = by_key_.emplace(obs.key, observations_.size());
+  if (!inserted) return;
+  observations_.push_back(obs);
+}
+
+bool CardinalityFeedback::IsSuppressed(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_.count(key) > 0;
+}
+
+void CardinalityFeedback::SuppressKey(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  suppressed_.insert(key);
+}
+
+std::vector<CardinalityObservation> CardinalityFeedback::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+size_t CardinalityFeedback::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_.size();
+}
+
+}  // namespace magicdb

@@ -1,0 +1,46 @@
+#ifndef MAGICDB_EXEC_CARDINALITY_FEEDBACK_H_
+#define MAGICDB_EXEC_CARDINALITY_FEEDBACK_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/stats/feedback_store.h"
+
+namespace magicdb {
+
+/// Per-query ledger of runtime cardinality observations. One instance is
+/// shared by every ExecContext of a query (all workers, all execution
+/// attempts) and survives re-optimization restarts, so the first — i.e.
+/// original-estimate — observation per key is kept: re-executions after a
+/// re-plan see corrected estimates and must not overwrite the measurement
+/// that justified the restart. Thread-safe.
+///
+/// Suppression: once the driver re-plans because of a key, it suppresses
+/// that key so the re-executed attempt cannot trigger on it again. The
+/// driver only mutates the suppressed set *between* attempts — within one
+/// attempt every worker sees the same stable set, which keeps the
+/// value-based trigger decision identical across workers at any DoP.
+class CardinalityFeedback {
+ public:
+  /// Records `obs`; first observation per key wins.
+  void Record(const CardinalityObservation& obs);
+
+  bool IsSuppressed(const std::string& key) const;
+  void SuppressKey(const std::string& key);
+
+  std::vector<CardinalityObservation> Snapshot() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CardinalityObservation> observations_;
+  std::unordered_map<std::string, size_t> by_key_;
+  std::unordered_set<std::string> suppressed_;
+};
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_EXEC_CARDINALITY_FEEDBACK_H_

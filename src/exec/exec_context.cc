@@ -1,6 +1,7 @@
 #include "src/exec/exec_context.h"
 
 #include "src/common/logging.h"
+#include "src/exec/cardinality_feedback.h"
 #include "src/spill/spill_manager.h"
 
 namespace magicdb {
@@ -8,6 +9,30 @@ namespace magicdb {
 bool ExecContext::spill_enabled() const {
   return spill_manager_ != nullptr && spill_manager_->enabled() &&
          memory_tracker_ != nullptr;
+}
+
+Status ExecContext::RecordCardinality(const std::string& key,
+                                      const std::string& site,
+                                      double estimated, double actual,
+                                      bool exact, bool can_trigger) {
+  if (cardinality_feedback_ == nullptr) return Status::OK();
+  CardinalityObservation obs;
+  obs.key = key;
+  obs.site = site;
+  obs.estimated = estimated;
+  obs.actual = actual;
+  obs.exact = exact;
+  cardinality_feedback_->Record(obs);
+  if (reoptimize_qerror_threshold_ > 0 && can_trigger && exact &&
+      obs.QError() > reoptimize_qerror_threshold_ &&
+      !cardinality_feedback_->IsSuppressed(key)) {
+    return Status::ReoptimizeRequested(
+        site + ": observed " + std::to_string(static_cast<int64_t>(actual)) +
+        " rows vs estimated " +
+        std::to_string(static_cast<int64_t>(estimated)) + " (key " + key +
+        ")");
+  }
+  return Status::OK();
 }
 
 namespace {

@@ -19,7 +19,9 @@
 
 namespace magicdb {
 
+class CardinalityFeedback;
 class SpillManager;
+class ThreadPool;
 
 /// A materialized magic filter set, produced by a FilterJoinOp and consumed
 /// inside the rewritten inner plan (FilterSetScanOp / FilterProbeOp). The
@@ -174,6 +176,59 @@ class ExecContext {
   int64_t batch_size() const { return batch_size_; }
   void set_batch_size(int64_t n) { batch_size_ = n; }
 
+  /// Worker pool parallel execution should run on. Null (the default) makes
+  /// ParallelExecutor spin up a dedicated pool per Run; the serving layer
+  /// points every query at its one shared pool.
+  ThreadPool* shared_pool() const { return shared_pool_; }
+  void set_shared_pool(ThreadPool* pool) { shared_pool_ = pool; }
+
+  /// Per-query runtime cardinality ledger, shared by every worker context
+  /// and surviving re-optimization restarts. Null disables instrumentation.
+  const std::shared_ptr<CardinalityFeedback>& cardinality_feedback() const {
+    return cardinality_feedback_;
+  }
+  void set_cardinality_feedback(std::shared_ptr<CardinalityFeedback> f) {
+    cardinality_feedback_ = std::move(f);
+  }
+
+  /// Q-error above which an annotated pipeline breaker aborts the attempt
+  /// with kReoptimizeRequested; <= 0 disables triggering (observations are
+  /// still recorded).
+  double reoptimize_qerror_threshold() const {
+    return reoptimize_qerror_threshold_;
+  }
+  void set_reoptimize_qerror_threshold(double t) {
+    reoptimize_qerror_threshold_ = t;
+  }
+
+  /// Records one breaker observation into the ledger (no-op without one)
+  /// and decides the re-optimization trigger. The decision is value-based —
+  /// (threshold, exactness, q-error, suppression) only — so every worker of
+  /// a shared build computes the same answer from the same totals and the
+  /// whole gang unwinds consistently. Returns kReoptimizeRequested when the
+  /// attempt should restart, OK otherwise. The status message starts with
+  /// "<site>: ", which the server's reason-label sanitizer truncates to the
+  /// metric label.
+  Status RecordCardinality(const std::string& key, const std::string& site,
+                           double estimated, double actual, bool exact,
+                           bool can_trigger);
+
+  /// Copies execution *configuration* (cancellation, tracker, spill, memory
+  /// budget, batch size, pool, feedback ledger, re-opt threshold) from a
+  /// prototype context — everything except counters and filter-set
+  /// bindings, which stay per-context. Worker contexts and fallback paths
+  /// are stamped from one prototype this way.
+  void InheritConfig(const ExecContext& proto) {
+    cancel_token_ = proto.cancel_token_;
+    memory_tracker_ = proto.memory_tracker_;
+    spill_manager_ = proto.spill_manager_;
+    memory_budget_bytes_ = proto.memory_budget_bytes_;
+    batch_size_ = proto.batch_size_;
+    shared_pool_ = proto.shared_pool_;
+    cardinality_feedback_ = proto.cardinality_feedback_;
+    reoptimize_qerror_threshold_ = proto.reoptimize_qerror_threshold_;
+  }
+
  private:
   CostCounters counters_;
   CancelTokenPtr cancel_token_;
@@ -181,6 +236,9 @@ class ExecContext {
   std::shared_ptr<SpillManager> spill_manager_;
   int64_t memory_budget_bytes_ = 4 * 1024 * 1024;
   int64_t batch_size_ = 0;
+  ThreadPool* shared_pool_ = nullptr;
+  std::shared_ptr<CardinalityFeedback> cardinality_feedback_;
+  double reoptimize_qerror_threshold_ = 0.0;
   std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
   int64_t next_filter_set_id_ = 0;
 };

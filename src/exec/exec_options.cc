@@ -1,0 +1,17 @@
+#include "src/exec/exec_options.h"
+
+#include <cstdlib>
+
+namespace magicdb {
+
+double ResolveReoptQErrorThreshold(double configured) {
+  if (configured >= 0) return configured;
+  const char* env = std::getenv("MAGICDB_TEST_REOPT_QERROR");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v < 0) return 0.0;
+  return v;
+}
+
+}  // namespace magicdb

@@ -172,11 +172,13 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
   // work here).
   MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
   int64_t build_bytes = 0;
+  int64_t inner_rows = 0;
   while (true) {
     Tuple t;
     bool eof = false;
     MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
     if (eof) break;
+    ++inner_rows;
     if (TupleHasNullAt(t, inner_keys_)) continue;
     MAGICDB_FAILPOINT("exec.filter_join.build");
     const int64_t row_bytes = TupleByteWidth(t);
@@ -187,6 +189,12 @@ Status FilterJoinOp::Open(ExecContext* ctx) {
     build_[HashTupleColumns(t, inner_keys_)].push_back(std::move(t));
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  if (!feedback_key_.empty()) {
+    MAGICDB_RETURN_IF_ERROR(ctx->RecordCardinality(
+        feedback_key_, "filter_join_build", feedback_est_rows_,
+        static_cast<double>(inner_rows), /*exact=*/false,
+        /*can_trigger=*/false));
+  }
   // R_k' over budget: Grace partitioning pass over R_k' and (via the spool
   // that already exists) the production set.
   if (build_bytes > ctx->memory_budget_bytes()) {
@@ -304,11 +312,13 @@ Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
     auto* shared_build = shared_fj_->mutable_inner_build();
     Status inner_status = inner_->Open(ctx);
     int64_t build_bytes = 0;
+    int64_t inner_rows = 0;
     while (inner_status.ok()) {
       Tuple t;
       bool eof = false;
       inner_status = inner_->Next(&t, &eof);
       if (!inner_status.ok() || eof) break;
+      ++inner_rows;
       if (TupleHasNullAt(t, inner_keys_)) continue;
       inner_status = MAGICDB_FAILPOINT_EVAL("exec.filter_join.build");
       if (!inner_status.ok()) break;
@@ -325,6 +335,14 @@ Status FilterJoinOp::OpenParallel(ExecContext* ctx) {
     if (!inner_status.ok()) {
       shared_fj_->Abort(inner_status);
       return inner_status;
+    }
+    // Coordinator-only observation (the inner runs exactly once, here), so
+    // the ledger entry matches sequential execution at any DoP.
+    if (!feedback_key_.empty()) {
+      MAGICDB_RETURN_IF_ERROR(ctx->RecordCardinality(
+          feedback_key_, "filter_join_build", feedback_est_rows_,
+          static_cast<double>(inner_rows), /*exact=*/false,
+          /*can_trigger=*/false));
     }
     if (build_bytes > ctx->memory_budget_bytes()) {
       const int64_t build_pages =

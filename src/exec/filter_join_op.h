@@ -104,6 +104,16 @@ class FilterJoinOp final : public Operator {
   /// Measured Table-1 phase costs of the current/most recent execution.
   const FilterJoinMeasured& measured() const { return measured_; }
 
+  /// Cardinality-feedback annotation: the optimizer's estimate of the
+  /// restricted inner R_k'. Open() records the observed restricted-inner
+  /// rows into the context ledger as an observation-only entry (the
+  /// restricted count depends on this query's filter set, so it is never
+  /// fed back into base-table planning and never triggers a restart).
+  void AnnotateInnerCardinality(std::string key, double estimated_rows) {
+    feedback_key_ = std::move(key);
+    feedback_est_rows_ = estimated_rows;
+  }
+
   /// Parallel execution: this replica contributes its morsel-driven slice
   /// of the production set, the filter set is built partitioned across
   /// workers, the restricted inner runs once on worker 0, and the final
@@ -152,6 +162,10 @@ class FilterJoinOp final : public Operator {
   // Bytes charged to the query memory tracker for the spooled production
   // set and the restricted-inner hash table; released on Close.
   int64_t charged_bytes_ = 0;
+  // Cardinality-feedback annotation (AnnotateInnerCardinality); key empty =
+  // not annotated.
+  std::string feedback_key_;
+  double feedback_est_rows_ = 0.0;
   // Parallel-mode wiring; null / unused in sequential mode.
   std::shared_ptr<SharedFilterJoin> shared_fj_;
   int worker_ = 0;

@@ -34,6 +34,10 @@ struct GatherRow {
 struct GatherRun {
   std::unique_ptr<SpillFile> spilled;  // may be null: fully in memory
   std::vector<GatherRow> rows;
+  /// Total rows staged into this run (spilled prefix included); the
+  /// parallel executor sums these into its staged-gather cardinality
+  /// observation.
+  int64_t staged_rows = 0;
 };
 
 /// Deterministic merge of the per-worker output runs of a parallel

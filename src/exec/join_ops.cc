@@ -238,6 +238,9 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   // with the other replicas and assembles the partitions.
   MAGICDB_RETURN_IF_ERROR(inner_->Open(ctx));
   int64_t build_bytes = 0;
+  // Build-input rows drained by this replica (before the NULL-key skip, so
+  // the total matches the scan-output cardinality the optimizer estimated).
+  int64_t build_rows = 0;
   if (ctx->batch_size() > 0) {
     // Vectorized build drain: one memory reservation and one cancellation
     // check per batch instead of per row.
@@ -254,6 +257,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
       const int32_t n =
           sel ? static_cast<int32_t>(sel->size()) : in.num_rows();
       Tuple t;
+      build_rows += n;
       for (int32_t k = 0; k < n; ++k) {
         const int32_t r = sel ? (*sel)[k] : k;
         in.MoveRowToTuple(r, &t);
@@ -272,6 +276,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
       bool eof = false;
       MAGICDB_RETURN_IF_ERROR(inner_->Next(&t, &eof));
       if (eof) break;
+      ++build_rows;
       const int64_t stage_pos = shared_build_ != nullptr
                                     ? shared_inner_scan_->last_global_row()
                                     : 0;
@@ -281,15 +286,32 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     }
   }
   MAGICDB_RETURN_IF_ERROR(inner_->Close());
+  // Cardinality feedback: record the observed build-input total and decide
+  // the re-optimization trigger before any probe output is produced (every
+  // pipeline breaker completes inside Open). The decision is value-based,
+  // so in shared mode every replica computes it from the same gang-wide
+  // total and unwinds consistently.
+  const auto record_build = [&](int64_t actual) -> Status {
+    if (feedback_key_.empty()) return Status::OK();
+    return ctx->RecordCardinality(feedback_key_, "hash_join_build",
+                                  feedback_est_rows_,
+                                  static_cast<double>(actual),
+                                  /*exact=*/true, feedback_can_trigger_);
+  };
   if (grace_ != nullptr) {
     MAGICDB_RETURN_IF_ERROR(grace_->FinishBuild(ctx));
+    MAGICDB_RETURN_IF_ERROR(record_build(build_rows));
     return outer_->Open(ctx);
   }
   if (shared_build_ != nullptr) {
+    // Contribute this replica's slice before the FinishStaging barrier so
+    // every replica reads the complete total afterwards.
+    shared_build_->AddBuildRows(build_rows);
     // Barrier + partition assembly; global spill accounting happens inside
     // (charged once, not once per replica).
     MAGICDB_RETURN_IF_ERROR(shared_build_->FinishStaging(worker_, ctx));
     spilled_ = shared_build_->spilled();
+    MAGICDB_RETURN_IF_ERROR(record_build(shared_build_->total_build_rows()));
     return outer_->Open(ctx);
   }
   // Build side over budget: charge the Grace partitioning passes the spill
@@ -305,6 +327,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     ctx->counters().pages_written += build_pages * spill_passes_;
     ctx->counters().pages_read += build_pages * spill_passes_;
   }
+  MAGICDB_RETURN_IF_ERROR(record_build(build_rows));
   return outer_->Open(ctx);
 }
 

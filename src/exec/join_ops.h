@@ -114,6 +114,19 @@ class HashJoinOp final : public Operator {
     shared_inner_scan_ = inner_scan;
   }
 
+  /// Cardinality-feedback annotation from the optimizer: the build input's
+  /// feedback key and estimated rows. When set, Open() records the observed
+  /// build cardinality — the full, DoP-invariant input total (shared builds
+  /// sum their slices across the gang) — into the context's ledger right
+  /// after the build completes, and may return kReoptimizeRequested when
+  /// `can_trigger` and the q-error crosses the context threshold.
+  void AnnotateBuildCardinality(std::string key, double estimated_rows,
+                                bool can_trigger) {
+    feedback_key_ = std::move(key);
+    feedback_est_rows_ = estimated_rows;
+    feedback_can_trigger_ = can_trigger;
+  }
+
  private:
   /// Grace path: drains the entire outer child into the probe partitions
   /// (tagging rows with their probe sequence) and runs the partition joins.
@@ -159,6 +172,11 @@ class HashJoinOp final : public Operator {
   std::shared_ptr<SharedHashBuild> shared_build_;
   int worker_ = 0;
   SeqScanOp* shared_inner_scan_ = nullptr;
+  // Cardinality-feedback annotation (AnnotateBuildCardinality); key empty =
+  // not annotated.
+  std::string feedback_key_;
+  double feedback_est_rows_ = 0.0;
+  bool feedback_can_trigger_ = false;
   // Vectorized path: coalesced build-side memory charges, the owned outer
   // batch the probe resumes from, and per-batch key-hash scratch.
   BatchReserve build_reserve_;

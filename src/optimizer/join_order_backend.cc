@@ -1,0 +1,130 @@
+#include "src/optimizer/join_order_backend.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace magicdb {
+
+using optimizer_internal::AccessKind;
+using optimizer_internal::JoinGraph;
+using optimizer_internal::PartialPlan;
+using optimizer_internal::PlanContext;
+using optimizer_internal::StepMethod;
+
+namespace {
+
+// Methods a backend may try per step. CostJoinStep itself rejects methods
+// disabled by options (enable_hash_join etc.) or inapplicable to the input;
+// the explicit kFilterJoin/kFnMemo gates below mirror RunDP's.
+const StepMethod kStepMethods[] = {
+    StepMethod::kNestedLoops, StepMethod::kHash,    StepMethod::kSortMerge,
+    StepMethod::kIndexNL,     StepMethod::kFnProbe, StepMethod::kFnMemo,
+    StepMethod::kFilterJoin,
+};
+
+Status Infeasible() {
+  return Status::InvalidArgument(
+      "no feasible join plan (is a table function missing argument "
+      "bindings?)");
+}
+
+/// The exhaustive System-R dynamic program (the default).
+class DpBackend final : public JoinOrderBackend {
+ public:
+  const char* name() const override { return "dp"; }
+  const char* description() const override {
+    return "exhaustive System-R dynamic programming over left-deep trees";
+  }
+  StatusOr<PartialPlan> Order(Optimizer::Impl* impl, const JoinGraph& graph,
+                              PlanContext* ctx,
+                              bool allow_filter_join) const override {
+    return impl->RunDP(graph, ctx, allow_filter_join);
+  }
+};
+
+/// Greedy cheapest-next-step heuristic (IKKBZ-flavored): every feasible
+/// input seeds a chain that is extended one join at a time by whichever
+/// (inner, method) pair yields the cheapest cumulative plan; the cheapest
+/// complete chain across all seeds wins. O(n^3 * methods) step costings
+/// instead of the DP's exponential table — can miss orders the DP finds,
+/// but shares its cost model exactly.
+class GreedyBackend final : public JoinOrderBackend {
+ public:
+  const char* name() const override { return "greedy"; }
+  const char* description() const override {
+    return "greedy cheapest-next-step heuristic over left-deep trees";
+  }
+  StatusOr<PartialPlan> Order(Optimizer::Impl* impl, const JoinGraph& graph,
+                              PlanContext* ctx,
+                              bool allow_filter_join) const override {
+    const int n = static_cast<int>(graph.inputs.size());
+    if (n == 1) return impl->AccessPlan(graph, 0);
+
+    bool have_best = false;
+    PartialPlan best;
+    for (int seed = 0; seed < n; ++seed) {
+      if (graph.inputs[seed].access == AccessKind::kFunction) continue;
+      auto seeded = impl->AccessPlan(graph, seed);
+      if (!seeded.ok()) continue;
+      PartialPlan cur = std::move(*seeded);
+      uint32_t used = 1u << seed;
+      bool feasible = true;
+      for (int k = 1; k < n; ++k) {
+        bool have_step = false;
+        PartialPlan step_best;
+        int step_input = -1;
+        for (int j = 0; j < n; ++j) {
+          if ((used & (1u << j)) != 0) continue;
+          for (StepMethod m : kStepMethods) {
+            if (m == StepMethod::kFilterJoin && !allow_filter_join) continue;
+            if (m == StepMethod::kFnMemo &&
+                !impl->options_->enable_function_memo) {
+              continue;
+            }
+            auto r = impl->CostJoinStep(graph, cur, j, m, ctx);
+            if (!r.ok()) continue;  // method inapplicable here
+            if (!have_step || r->cost < step_best.cost) {
+              step_best = std::move(*r);
+              step_input = j;
+              have_step = true;
+            }
+          }
+        }
+        if (!have_step) {
+          feasible = false;
+          break;
+        }
+        cur = std::move(step_best);
+        used |= 1u << step_input;
+      }
+      if (!feasible) continue;
+      if (!have_best || cur.cost < best.cost) {
+        best = std::move(cur);
+        have_best = true;
+      }
+    }
+    if (!have_best) return Infeasible();
+    return best;
+  }
+};
+
+const DpBackend kDp;
+const GreedyBackend kGreedy;
+const JoinOrderBackend* const kBackends[] = {&kDp, &kGreedy};
+
+}  // namespace
+
+const JoinOrderBackend* FindJoinOrderBackend(const std::string& name) {
+  for (const JoinOrderBackend* b : kBackends) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> JoinOrderBackendNames() {
+  std::vector<std::string> names;
+  for (const JoinOrderBackend* b : kBackends) names.emplace_back(b->name());
+  return names;
+}
+
+}  // namespace magicdb

@@ -16,6 +16,8 @@
 
 namespace magicdb {
 
+struct CardinalityOverlay;
+
 /// Result of optimizing a logical plan: an executable operator tree plus
 /// the optimizer's estimates and diagnostics.
 struct OptimizedPlan {
@@ -72,8 +74,19 @@ class Optimizer {
   const OptimizerStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
- private:
+  /// Installs a cardinality overlay: observed row counts (keyed by feedback
+  /// scan key, see src/stats/feedback_store.h) that override the stats-based
+  /// base estimates of matching join-block inputs. The overlay must outlive
+  /// the Optimize call; nullptr clears it. Runtime re-optimization plans
+  /// with the per-query ledger folded in here.
+  void set_cardinality_overlay(const CardinalityOverlay* overlay);
+
+  /// Private implementation; opaque outside the optimizer sources. Public
+  /// only so the JoinOrderBackend interface (src/optimizer/
+  /// join_order_backend.h) can reference it in signatures.
   class Impl;
+
+ private:
   std::unique_ptr<Impl> impl_;
   OptimizerOptions options_;
   OptimizerStats stats_;

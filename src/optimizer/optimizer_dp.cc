@@ -8,6 +8,7 @@
 #include "src/exec/function_ops.h"
 #include "src/exec/join_ops.h"
 #include "src/exec/scan_ops.h"
+#include "src/optimizer/join_order_backend.h"
 #include "src/optimizer/optimizer_impl.h"
 
 namespace magicdb {
@@ -22,6 +23,26 @@ using optimizer_internal::PartialPlan;
 using optimizer_internal::Planned;
 using optimizer_internal::StepMethod;
 using optimizer_internal::StepMethodName;
+
+namespace optimizer_internal {
+
+std::string InputFeedbackKey(const InputInfo& in) {
+  switch (in.access) {
+    case AccessKind::kLocalTable:
+    case AccessKind::kRemoteTable:
+      return FeedbackScanKey("scan", in.entry->name, in.local_preds);
+    case AccessKind::kView:
+      return FeedbackScanKey("view", in.entry->name, in.local_preds);
+    case AccessKind::kSubplan:
+      return FeedbackScanKey("sub", in.alias, in.local_preds);
+    case AccessKind::kFunction:
+    case AccessKind::kFilterSetRef:
+      break;
+  }
+  return "";
+}
+
+}  // namespace optimizer_internal
 
 namespace {
 
@@ -188,18 +209,26 @@ StatusOr<Planned> Optimizer::Impl::PlanJoinBlock(const LogicalPtr& node,
   const auto* join = static_cast<const NaryJoinNode*>(node.get());
   MAGICDB_ASSIGN_OR_RETURN(JoinGraph graph, BuildJoinGraph(*join, ctx));
 
+  const JoinOrderBackend* backend =
+      FindJoinOrderBackend(options_->join_order_backend);
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown join_order_backend: \"" +
+                                   options_->join_order_backend + "\"");
+  }
+
   PartialPlan best;
   switch (options_->magic_mode) {
     case OptimizerOptions::MagicMode::kCostBased: {
-      MAGICDB_ASSIGN_OR_RETURN(best, RunDP(graph, ctx, true));
+      MAGICDB_ASSIGN_OR_RETURN(best, backend->Order(this, graph, ctx, true));
       break;
     }
     case OptimizerOptions::MagicMode::kNever: {
-      MAGICDB_ASSIGN_OR_RETURN(best, RunDP(graph, ctx, false));
+      MAGICDB_ASSIGN_OR_RETURN(best, backend->Order(this, graph, ctx, false));
       break;
     }
     case OptimizerOptions::MagicMode::kAlwaysOnVirtual: {
-      MAGICDB_ASSIGN_OR_RETURN(PartialPlan plain, RunDP(graph, ctx, false));
+      MAGICDB_ASSIGN_OR_RETURN(PartialPlan plain,
+                               backend->Order(this, graph, ctx, false));
       auto forced = RecostWithForcedFilterJoins(graph, plain, ctx);
       best = (forced.ok() && forced->cost < plain.cost) ? std::move(*forced)
                                                         : std::move(plain);
@@ -320,9 +349,15 @@ StatusOr<OpPtr> Optimizer::Impl::BuildStep(const JoinGraph& graph,
 
     case StepMethod::kHash: {
       MAGICDB_ASSIGN_OR_RETURN(OpPtr inner_op, inner.planned.build());
-      return OpPtr(std::make_unique<HashJoinOp>(
+      auto hj = std::make_unique<HashJoinOp>(
           std::move(outer_op), std::move(inner_op), outer_keys, inner_keys,
-          residual));
+          residual);
+      const std::string fkey = InputFeedbackKey(inner);
+      if (!fkey.empty()) {
+        hj->AnnotateBuildCardinality(fkey, inner.planned.est.rows,
+                                     IsOverlayKey(fkey));
+      }
+      return OpPtr(std::move(hj));
     }
 
     case StepMethod::kSortMerge: {
@@ -426,10 +461,13 @@ StatusOr<OpPtr> Optimizer::Impl::BuildStep(const JoinGraph& graph,
       }
       const int ship_site =
           inner.access == AccessKind::kRemoteTable ? inner.site : 0;
-      return OpPtr(std::make_unique<FilterJoinOp>(
+      auto fj = std::make_unique<FilterJoinOp>(
           std::move(outer_op), std::move(inner_op), step.binding_id,
           outer_keys, inner_keys, residual, step.fs_impl, ship_site,
-          options_->bloom_bits_per_key, step.filter_key_positions));
+          options_->bloom_bits_per_key, step.filter_key_positions);
+      fj->AnnotateInnerCardinality("fj:" + step.binding_id,
+                                   step.breakdown.restricted_rows);
+      return OpPtr(std::move(fj));
     }
   }
   return Status::Internal("unhandled join method");

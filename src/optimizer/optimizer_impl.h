@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/filter_join_op.h"
 #include "src/optimizer/optimizer.h"
+#include "src/stats/feedback_store.h"
 
 namespace magicdb {
 namespace optimizer_internal {
@@ -165,6 +167,12 @@ struct PartialPlan {
   JoinStepPtr step;
 };
 
+/// Feedback identity of a join-block input: the key its observed build
+/// cardinality is recorded — and, for overlay-eligible scan:/view: keys,
+/// re-planned — under (see src/stats/feedback_store.h). Empty when the
+/// input has no stable identity (table functions, filter-set references).
+std::string InputFeedbackKey(const InputInfo& in);
+
 /// Parametric costing cache for one virtual inner (§4.2): lazily computed
 /// (selectivity, cost, rows) samples at equivalence-class centers.
 struct ParametricCache {
@@ -273,6 +281,10 @@ class Optimizer::Impl {
   OptimizerOptions* options_;
   OptimizerStats* stats_;
   int64_t next_binding_ = 0;
+
+  /// Observed-cardinality overrides for join-block inputs (nullable; not
+  /// owned). See Optimizer::set_cardinality_overlay.
+  const CardinalityOverlay* overlay_ = nullptr;
 
   /// Unrestricted view access plans, keyed by relation name (avoids
   /// repeated nested optimization of the same view).

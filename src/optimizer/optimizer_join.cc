@@ -240,6 +240,16 @@ StatusOr<JoinGraph> Optimizer::Impl::BuildJoinGraph(const NaryJoinNode& join,
         for (const ExprPtr& p : in.local_preds) {
           sel *= ConjunctSelectivity(p, in.base_distinct, stats, in.base_rows);
         }
+        // An observed cardinality for this exact (table, local predicates)
+        // stream overrides the stats estimate; the derived selectivity and
+        // the distinct counts below follow the corrected row count.
+        if (overlay_ != nullptr) {
+          const double* observed =
+              overlay_->Find(optimizer_internal::InputFeedbackKey(in));
+          if (observed != nullptr && in.base_rows > 0.0) {
+            sel = *observed / in.base_rows;
+          }
+        }
         in.local_selectivity = sel;
         in.planned.schema = in.schema;
         in.planned.est.rows = in.base_rows * sel;
@@ -306,27 +316,47 @@ StatusOr<JoinGraph> Optimizer::Impl::BuildJoinGraph(const NaryJoinNode& join,
           sel *=
               ConjunctSelectivity(p, base.distinct, nullptr, base.est.rows);
         }
-        in.local_selectivity = sel;
         in.planned = base;
         in.planned.schema = in.schema;
-        if (!in.local_preds.empty()) {
-          in.planned.est.cost += costs::ExprEval(base.est.rows);
+        // As for tables: an observed row count for this (view, predicates)
+        // stream overrides the nested estimate — including when there are no
+        // local predicates at all, where the plain nested plan is kept but
+        // its cardinality is corrected.
+        bool override_rows = false;
+        if (overlay_ != nullptr) {
+          const double* observed =
+              overlay_->Find(optimizer_internal::InputFeedbackKey(in));
+          if (observed != nullptr && base.est.rows > 0.0) {
+            sel = *observed / base.est.rows;
+            override_rows = true;
+          }
+        }
+        in.local_selectivity = sel;
+        if (!in.local_preds.empty() || override_rows) {
+          if (!in.local_preds.empty()) {
+            in.planned.est.cost += costs::ExprEval(base.est.rows);
+          }
           in.planned.est.rows = base.est.rows * sel;
           in.planned.distinct.resize(ncols);
           for (int c = 0; c < ncols; ++c) {
-            in.planned.distinct[c] = std::max(
-                1.0, YaoEstimate(static_cast<int64_t>(base.est.rows),
-                                 static_cast<int64_t>(
-                                     std::max(1.0, base.distinct[c])),
-                                 static_cast<int64_t>(std::max(
-                                     1.0, in.planned.est.rows))));
+            in.planned.distinct[c] =
+                sel >= 1.0
+                    ? std::max(1.0, base.distinct[c])
+                    : std::max(
+                          1.0, YaoEstimate(static_cast<int64_t>(base.est.rows),
+                                           static_cast<int64_t>(std::max(
+                                               1.0, base.distinct[c])),
+                                           static_cast<int64_t>(std::max(
+                                               1.0, in.planned.est.rows))));
           }
-          ExprPtr local = ConjoinAll(in.local_preds);
-          BuildFn base_build = base.build;
-          in.planned.build = [base_build, local]() -> StatusOr<OpPtr> {
-            MAGICDB_ASSIGN_OR_RETURN(OpPtr op, base_build());
-            return OpPtr(std::make_unique<FilterOp>(std::move(op), local));
-          };
+          if (!in.local_preds.empty()) {
+            ExprPtr local = ConjoinAll(in.local_preds);
+            BuildFn base_build = base.build;
+            in.planned.build = [base_build, local]() -> StatusOr<OpPtr> {
+              MAGICDB_ASSIGN_OR_RETURN(OpPtr op, base_build());
+              return OpPtr(std::make_unique<FilterOp>(std::move(op), local));
+            };
+          }
         }
         break;
       }

@@ -85,6 +85,10 @@ Optimizer::Optimizer(const Catalog* catalog, OptimizerOptions options)
 
 Optimizer::~Optimizer() = default;
 
+void Optimizer::set_cardinality_overlay(const CardinalityOverlay* overlay) {
+  impl_->overlay_ = overlay;
+}
+
 StatusOr<OptimizedPlan> Optimizer::Optimize(const LogicalPtr& plan) {
   if (!plan) return Status::InvalidArgument("cannot optimize a null plan");
   impl_->chosen_filter_joins_.clear();
@@ -96,7 +100,8 @@ StatusOr<OptimizedPlan> Optimizer::Optimize(const LogicalPtr& plan) {
   result.est_rows = planned.est.rows;
   result.filter_joins = impl_->chosen_filter_joins_;
   result.explain = "estimated cost=" + std::to_string(planned.est.cost) +
-                   " rows=" + std::to_string(planned.est.rows) + "\n" +
+                   " rows=" + std::to_string(planned.est.rows) +
+                   " backend=" + options_.join_order_backend + "\n" +
                    result.root->TreeString();
   return result;
 }
@@ -118,7 +123,8 @@ StatusOr<OptimizedPlan> Optimizer::OptimizeWithFilterSets(
   result.est_rows = planned.est.rows;
   result.filter_joins = impl_->chosen_filter_joins_;
   result.explain = "estimated cost=" + std::to_string(planned.est.cost) +
-                   " rows=" + std::to_string(planned.est.rows) + "\n" +
+                   " rows=" + std::to_string(planned.est.rows) +
+                   " backend=" + options_.join_order_backend + "\n" +
                    result.root->TreeString();
   return result;
 }
@@ -358,10 +364,19 @@ StatusOr<Planned> Optimizer::Impl::PlanAggregate(const LogicalPtr& node,
   std::vector<AggSpec> aggs = agg->aggs();
   Schema schema = p.schema;
   BuildFn child_build = child.build;
-  p.build = [child_build, group_by, aggs, schema]() -> StatusOr<OpPtr> {
+  std::string feedback_key = "agg:";
+  for (const ExprPtr& g : group_by) {
+    feedback_key += g->ToString();
+    feedback_key += ',';
+  }
+  const double est_groups = groups;
+  p.build = [child_build, group_by, aggs, schema, feedback_key,
+             est_groups]() -> StatusOr<OpPtr> {
     MAGICDB_ASSIGN_OR_RETURN(OpPtr c, child_build());
-    return OpPtr(std::make_unique<HashAggregateOp>(std::move(c), group_by,
-                                                   aggs, schema));
+    auto op = std::make_unique<HashAggregateOp>(std::move(c), group_by, aggs,
+                                                schema);
+    op->AnnotateGroupCardinality(feedback_key, est_groups);
+    return OpPtr(std::move(op));
   };
   return p;
 }

@@ -73,6 +73,12 @@ struct OptimizerOptions {
   /// Plan choice may legitimately differ from dop=1 as CPU-bound
   /// alternatives become relatively cheaper.
   int degree_of_parallelism = 1;
+
+  /// Join-order search strategy (see src/optimizer/join_order_backend.h).
+  /// "dp" is the exhaustive System-R dynamic program; "greedy" is a
+  /// cheapest-next-step heuristic over the same cost model. Unknown names
+  /// fail planning with InvalidArgument.
+  std::string join_order_backend = "dp";
 };
 
 /// Stable serialization of every field that influences plan choice. Plan
@@ -105,6 +111,8 @@ inline std::string OptimizerOptionsFingerprint(const OptimizerOptions& o) {
   fp += std::to_string(o.memory_budget_bytes);
   fp += '|';
   fp += std::to_string(o.degree_of_parallelism);
+  fp += '|';
+  fp += o.join_order_backend;
   return fp;
 }
 

@@ -172,6 +172,7 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
       staged_charged += row_bytes;
     }
     run->rows.push_back({pos, sub, std::move(t)});
+    run->staged_rows += 1;
     return Status::OK();
   };
   // Vectorized drain: rank tags ride in the batches (scan position from the
@@ -272,21 +273,16 @@ std::string ParallelExecutor::UnsafeReason(const Operator& root) {
 }
 
 StatusOr<ParallelRunResult> ParallelExecutor::Run(
-    std::vector<OpPtr> replicas, int64_t memory_budget_bytes,
-    const ParallelRunOptions& options) {
-  MAGICDB_ASSIGN_OR_RETURN(
-      StagedStream staged,
-      RunStaged(std::move(replicas), memory_budget_bytes, options));
+    std::vector<OpPtr> replicas, const ExecContext& proto) {
+  MAGICDB_ASSIGN_OR_RETURN(StagedStream staged,
+                           RunStaged(std::move(replicas), proto));
   ParallelRunResult result;
   result.used_dop = staged.used_dop;
   result.fallback_reason = std::move(staged.fallback_reason);
   ExecContext ctx;
   if (!staged.staged) {
     // Fallback: this drain IS the execution.
-    ctx.set_cancel_token(options.cancel_token);
-    ctx.set_memory_budget_bytes(memory_budget_bytes);
-    ctx.set_memory_tracker(options.memory_tracker);
-    ctx.set_batch_size(options.batch_size);
+    ctx.InheritConfig(proto);
   }
   MAGICDB_ASSIGN_OR_RETURN(result.rows,
                            ExecuteToVector(staged.stream_root.get(), &ctx));
@@ -308,15 +304,15 @@ StatusOr<ParallelRunResult> ParallelExecutor::Run(
 }
 
 StatusOr<StagedStream> ParallelExecutor::RunStaged(
-    std::vector<OpPtr> replicas, int64_t memory_budget_bytes,
-    const ParallelRunOptions& options) {
+    std::vector<OpPtr> replicas, const ExecContext& proto) {
+  const int64_t memory_budget_bytes = proto.memory_budget_bytes();
   if (replicas.empty()) {
     return Status::InvalidArgument("ParallelExecutor::Run: no plan replicas");
   }
-  if (options.cancel_token != nullptr) {
+  if (proto.cancel_token() != nullptr) {
     // A query whose deadline expired while queued for admission must not
     // start executing at all.
-    MAGICDB_RETURN_IF_ERROR(options.cancel_token->Check());
+    MAGICDB_RETURN_IF_ERROR(proto.cancel_token()->Check());
   }
   if (dop_ == 1) {
     return MakeFallback(&replicas, "dop=1");
@@ -407,22 +403,18 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
       abort_all(fp);
       return fp;
     }
-    contexts[w].set_cancel_token(options.cancel_token);
-    contexts[w].set_memory_budget_bytes(memory_budget_bytes);
-    contexts[w].set_memory_tracker(options.memory_tracker);
-    contexts[w].set_spill_manager(options.spill_manager);
-    contexts[w].set_batch_size(options.batch_size);
+    contexts[w].InheritConfig(proto);
     Status st = RunPipeline(replicas[w].get(), shapes[w], &contexts[w],
                             &runs[w]);
     if (!st.ok()) abort_all(st);
     return st;
   };
   std::vector<Status> statuses;
-  if (options.shared_pool != nullptr) {
+  if (proto.shared_pool() != nullptr) {
     // Multiplexed mode: the gang shares the service-wide pool with other
     // queries' tasks. Admission guarantees the gang fits (see
-    // ParallelRunOptions::shared_pool).
-    statuses = options.shared_pool->RunGang(dop_, worker_fn);
+    // ExecContext::shared_pool).
+    statuses = proto.shared_pool()->RunGang(dop_, worker_fn);
   } else {
     ThreadPool pool(dop_);
     statuses = pool.RunOnAllWorkers(worker_fn);
@@ -451,6 +443,20 @@ StatusOr<StagedStream> ParallelExecutor::RunStaged(
       staged.filter_set_size +=
           shapes[w].filter_join->last_filter_set_size();
     }
+  }
+
+  // Observation-only ledger entry for the staged gather: the exact output
+  // row count of the parallel pipeline (all workers, spilled prefixes
+  // included). It never triggers a re-optimization — the pipeline has
+  // already run to completion — but it rides along in the query's feedback
+  // for diagnostics.
+  if (proto.cardinality_feedback() != nullptr) {
+    int64_t staged_rows = 0;
+    for (const GatherRun& r : runs) staged_rows += r.staged_rows;
+    (void)contexts[0].RecordCardinality(
+        "gather:" + shapes[0].driving_scan->Describe(), "staged_gather",
+        /*estimated=*/0.0, static_cast<double>(staged_rows), /*exact=*/true,
+        /*can_trigger=*/false);
   }
 
   // The GatherRows own their tuples outright, so the merge outlives the

@@ -17,36 +17,6 @@ namespace magicdb {
 class SpillManager;
 class ThreadPool;
 
-/// Execution environment for one ParallelExecutor::Run call.
-struct ParallelRunOptions {
-  /// Pool to run the worker gang on. nullptr = the executor creates a
-  /// dedicated pool of `dop` threads (the original pool-per-query mode).
-  /// When shared, the caller must uphold ThreadPool::RunGang's deadlock
-  /// contract: at most pool->size() blocking gang tasks outstanding —
-  /// the query service's admission controller reserves `dop` slots per
-  /// parallel query for exactly this reason.
-  ThreadPool* shared_pool = nullptr;
-
-  /// Cooperative cancellation/deadline token threaded into every worker's
-  /// ExecContext; null = not cancellable.
-  CancelTokenPtr cancel_token;
-
-  /// Per-query memory governor shared by every worker's ExecContext (and by
-  /// the caller's result sink); null = ungoverned.
-  std::shared_ptr<MemoryTracker> memory_tracker;
-
-  /// Spill area threaded into every worker's ExecContext; with a governed
-  /// query this lets workers flush staged gather rows to disk instead of
-  /// failing the gang on a memory breach. Null = no spilling.
-  std::shared_ptr<SpillManager> spill_manager;
-
-  /// Vectorized execution: rows-per-batch for every worker's ExecContext
-  /// (and the fallback drain). 0 = tuple-at-a-time. Results and merged
-  /// counters are byte-identical either way; pipelines containing a Filter
-  /// Join always drain row-at-a-time (its position provider is per-row).
-  int64_t batch_size = 0;
-};
-
 /// Outcome of one (possibly parallel) pipeline execution.
 struct ParallelRunResult {
   std::vector<Tuple> rows;
@@ -117,18 +87,25 @@ class ParallelExecutor {
 
   /// Runs the pipeline. `replicas` must contain either `dop` isomorphic
   /// plans, or at least one plan (fallback runs replicas[0]). Consumes the
-  /// replicas.
+  /// replicas. `proto` is a prototype execution environment: every worker's
+  /// ExecContext (and the fallback drain's) inherits its configuration —
+  /// cancel token, memory governor/budget, spill area, batch size, shared
+  /// thread pool, and the cardinality-feedback ledger with its
+  /// re-optimization threshold (see ExecContext::InheritConfig). Counters
+  /// and filter-set registries stay per-worker. When `proto` carries a
+  /// shared pool the caller must uphold ThreadPool::RunGang's deadlock
+  /// contract: at most pool->size() blocking gang tasks outstanding — the
+  /// query service's admission controller reserves `dop` slots per parallel
+  /// query for exactly this reason.
   StatusOr<ParallelRunResult> Run(std::vector<OpPtr> replicas,
-                                  int64_t memory_budget_bytes,
-                                  const ParallelRunOptions& options = {});
+                                  const ExecContext& proto);
 
   /// Streaming variant: runs the worker gang to completion (or decides the
   /// fallback without executing anything) and returns the operator the
   /// caller pumps to deliver rows incrementally — see StagedStream. Run()
   /// is a thin drain-to-vector wrapper over this.
   StatusOr<StagedStream> RunStaged(std::vector<OpPtr> replicas,
-                                   int64_t memory_budget_bytes,
-                                   const ParallelRunOptions& options = {});
+                                   const ExecContext& proto);
 
   int dop() const { return dop_; }
 

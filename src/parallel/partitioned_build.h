@@ -87,6 +87,17 @@ class SharedHashBuild {
 
   bool spilled() const { return spilled_; }
 
+  /// Cardinality feedback: each worker contributes its drained build-input
+  /// slice *before* the FinishStaging barrier; afterwards every worker
+  /// reads the same gang-wide total, so trigger decisions are identical
+  /// across the gang and DoP-invariant.
+  void AddBuildRows(int64_t rows) {
+    total_build_rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  int64_t total_build_rows() const {
+    return total_build_rows_.load(std::memory_order_relaxed);
+  }
+
   /// Exact global Grace probe-side accounting: charges `ctx` one page
   /// write+read for every page boundary the cumulative probe byte stream
   /// crosses, independent of how rows interleave across workers. Matches
@@ -103,6 +114,7 @@ class SharedHashBuild {
   // partitions_[partition]: hash -> bucket, built by the owning worker.
   std::vector<std::unordered_map<uint64_t, std::vector<Tuple>>> partitions_;
   std::atomic<int64_t> total_build_bytes_{0};
+  std::atomic<int64_t> total_build_rows_{0};
   std::atomic<int64_t> probe_bytes_{0};
   bool spilled_ = false;
   // Predicted Grace partitioning passes; probe-side page charges are

@@ -48,6 +48,12 @@ struct CursorState {
   OptimizerStats optimizer_stats;
   int used_dop = 1;
   std::string parallel_fallback_reason;
+  /// Times runtime cardinality feedback re-planned this query before its
+  /// final attempt ran to completion (0 = the first plan survived).
+  int reoptimizations = 0;
+  /// Per-query runtime cardinality ledger (never null once opened); shared
+  /// with every execution context of the query.
+  std::shared_ptr<CardinalityFeedback> cardinality_feedback;
 
   // Terminal execution state: written by the producer strictly before
   // sink.Finish(), read by the consumer strictly after the sink reports
@@ -105,6 +111,17 @@ class Cursor {
   }
   const OptimizerStats& optimizer_stats() const {
     return state_->optimizer_stats;
+  }
+
+  /// How many times cardinality feedback re-planned this query at Open.
+  int reoptimizations() const { return state_->reoptimizations; }
+
+  /// Breaker cardinalities observed while executing (first observation per
+  /// key wins; complete once the stream ended).
+  std::vector<CardinalityObservation> feedback() const {
+    return state_->cardinality_feedback != nullptr
+               ? state_->cardinality_feedback->Snapshot()
+               : std::vector<CardinalityObservation>{};
   }
 
   /// Pulls the next batch: up to `max_rows` rows (at least one unless the

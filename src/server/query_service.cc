@@ -46,6 +46,12 @@ std::string SanitizeReasonLabel(const std::string& reason) {
 
 const char kFallbackMetricPrefix[] =
     "magicdb_server_parallel_fallbacks_total{reason=";
+const char kReoptMetricPrefix[] =
+    "magicdb_server_reoptimizations_total{reason=";
+const char kCacheHitBackendPrefix[] =
+    "magicdb_server_plan_cache_hits_total{backend=";
+const char kCacheMissBackendPrefix[] =
+    "magicdb_server_plan_cache_misses_total{backend=";
 
 }  // namespace
 
@@ -79,6 +85,9 @@ struct StreamProducer {
   bool check_epoch = false;
   /// Return `tree` to the plan cache on clean end of stream.
   bool check_in = false;
+  /// Fold the query's exact cardinality observations into the database's
+  /// FeedbackStore on clean end of stream (ExecOptions::persist_feedback).
+  bool persist_feedback = false;
 };
 
 std::string ServiceStats::ToString() const {
@@ -103,6 +112,16 @@ std::string ServiceStats::ToString() const {
      << " parallel_fallbacks=" << parallel_fallbacks;
   for (const auto& [reason, count] : parallel_fallback_reasons) {
     os << " fallback[" << reason << "]=" << count;
+  }
+  os << " reoptimizations=" << reoptimizations;
+  for (const auto& [reason, count] : reoptimization_reasons) {
+    os << " reopt[" << reason << "]=" << count;
+  }
+  for (const auto& [backend, count] : plan_cache_hits_by_backend) {
+    os << " cache_hits[" << backend << "]=" << count;
+  }
+  for (const auto& [backend, count] : plan_cache_misses_by_backend) {
+    os << " cache_misses[" << backend << "]=" << count;
   }
   os << " spill_written=" << spill_bytes_written
      << " spill_read=" << spill_bytes_read
@@ -181,6 +200,7 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   morsels_stolen_ = metrics_.counter("magicdb_server_morsels_stolen_total");
   parallel_fallbacks_ =
       metrics_.counter("magicdb_server_parallel_fallbacks_total");
+  reoptimizations_ = metrics_.counter("magicdb_server_reoptimizations_total");
   cursors_opened_ = metrics_.counter("magicdb_server_cursors_opened_total");
   open_cursors_ = metrics_.counter("magicdb_server_open_cursors");
   rows_streamed_ = metrics_.counter("magicdb_server_rows_streamed_total");
@@ -392,6 +412,12 @@ void QueryService::FinishProducer(const std::shared_ptr<StreamProducer>& p,
     // execution of the same statement. CheckIn refuses stale epochs.
     plan_cache_.CheckIn(c->cache_key, c->plan_epoch, std::move(p->tree));
   }
+  if (status.ok() && p->persist_feedback &&
+      p->ctx.cardinality_feedback() != nullptr) {
+    // Cross-query learning: fold this query's exact observations into the
+    // store so later plans (cache-keyed by the store's version) use them.
+    db_->feedback_store()->Fold(p->ctx.cardinality_feedback()->Snapshot());
+  }
   // Finish last: it publishes the terminal state (counters included — the
   // sink's mutex orders the handoff) to the consumer.
   c->sink.Finish(std::move(status));
@@ -468,8 +494,19 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     const int64_t effective_batch = exec.batch_size < 0
                                         ? options_.default_batch_size
                                         : exec.batch_size;
-    const std::string key = OptimizerOptionsFingerprint(opts) + "\n" + sql +
-                            "\nbatch=" + std::to_string(effective_batch);
+    // Cross-query cardinality feedback: plans are built against a snapshot
+    // of the database's feedback store, and the store's version keys the
+    // cache — a persisting query bumping it invalidates every plan built
+    // from the older statistics.
+    const CardinalityOverlay feedback_overlay = db_->feedback_store()->Snapshot();
+    const CardinalityOverlay* base_overlay =
+        feedback_overlay.empty() ? nullptr : &feedback_overlay;
+    const std::string key =
+        OptimizerOptionsFingerprint(opts) + "\n" + sql +
+        "\nbatch=" + std::to_string(effective_batch) +
+        "\nfeedback=" + std::to_string(db_->feedback_store()->version());
+    const std::string backend_label = SanitizeReasonLabel(
+        opts.join_order_backend.empty() ? "dp" : opts.join_order_backend);
 
     CachedPlanMeta meta;
     OpPtr instance;
@@ -481,10 +518,15 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
                                         want_instance ? &instance : nullptr);
     if (hit) {
       plan_cache_hits_->Increment();
+      metrics_.counter(kCacheHitBackendPrefix + backend_label + "}")
+          ->Increment();
     } else {
       plan_cache_misses_->Increment();
+      metrics_.counter(kCacheMissBackendPrefix + backend_label + "}")
+          ->Increment();
+      MAGICDB_ASSIGN_OR_RETURN(BoundSelect fresh_bound, db_->BindSelect(sql));
       MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
-                               db_->PlanSelect(sql, opts));
+                               db_->PlanBound(fresh_bound, opts, base_overlay));
       meta.bound = planned.bound;
       meta.schema = planned.schema;
       meta.explain = planned.explain;
@@ -541,32 +583,86 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       producer->ctx.set_spill_manager(spill_manager_);
     }
 
-    if (effective_dop > 1) {
-      // Mirror Database::ExecuteParallel on the shared pool: plan
-      // isomorphic replicas from the cached bound plan (skipping
-      // parse+bind on hits), run the gang to completion, and stream the
-      // deterministic gather merge out of the staged runs.
-      std::vector<OpPtr> replicas;
-      MAGICDB_ASSIGN_OR_RETURN(PlannedSelect first,
-                               db_->PlanBound(meta.bound, opts));
-      replicas.push_back(std::move(first.root));
-      if (!has_limit &&
-          ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
-        for (int w = 1; w < effective_dop; ++w) {
-          MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
-                                   db_->PlanBound(meta.bound, opts));
-          replicas.push_back(std::move(replica.root));
-        }
+    // Adaptive re-optimization plumbing: one ledger per query, shared by
+    // every execution context; the resolved threshold arms triggering only
+    // on the paths that can restart cleanly (eager sequential Open, the
+    // parallel gang) — lazily pumped streams record observations but never
+    // trigger.
+    const double reopt_threshold =
+        ResolveReoptQErrorThreshold(exec.reoptimize_qerror_threshold);
+    auto ledger = std::make_shared<CardinalityFeedback>();
+    state->cardinality_feedback = ledger;
+    producer->ctx.set_cardinality_feedback(ledger);
+    producer->persist_feedback = exec.persist_feedback;
+    // Folds the attempt's exact scan/view observations into `overlay` for
+    // the next plan, suppressing each folded key (the corrected estimate
+    // makes re-triggering on it pointless).
+    auto fold_overlay = [&ledger](CardinalityOverlay* overlay) {
+      for (const CardinalityObservation& obs : ledger->Snapshot()) {
+        if (!obs.exact || !IsOverlayKey(obs.key)) continue;
+        overlay->rows[obs.key] = obs.actual;
+        ledger->SuppressKey(obs.key);
       }
-      ParallelExecutor executor(has_limit ? 1 : effective_dop);
-      ParallelRunOptions run_options;
-      run_options.shared_pool = pool_.get();
-      run_options.cancel_token = token;
-      run_options.memory_tracker = state->memory_tracker;
-      run_options.batch_size = effective_batch;
-      if (spill_active) run_options.spill_manager = spill_manager_;
-      StatusOr<StagedStream> staged_or = executor.RunStaged(
-          std::move(replicas), opts.memory_budget_bytes, run_options);
+    };
+
+    if (effective_dop > 1) {
+      // Mirror Database::Run on the shared pool: plan isomorphic replicas
+      // from the cached bound plan (skipping parse+bind on hits), run the
+      // gang to completion, and stream the deterministic gather merge out
+      // of the staged runs. A kReoptimizeRequested unwind from the gang
+      // restarts the whole attempt against the corrected overlay (bounded;
+      // the final attempt runs with triggering disabled).
+      CardinalityOverlay attempt_overlay = feedback_overlay;
+      int replans_left =
+          reopt_threshold > 0 ? std::max(0, exec.max_reoptimizations) : 0;
+      StatusOr<StagedStream> staged_or = Status::Internal("unreachable");
+      while (true) {
+        const CardinalityOverlay* ov =
+            attempt_overlay.empty() ? nullptr : &attempt_overlay;
+        std::vector<OpPtr> replicas;
+        MAGICDB_ASSIGN_OR_RETURN(PlannedSelect first,
+                                 db_->PlanBound(meta.bound, opts, ov));
+        // Keep the cursor's plan metadata attached to the plan actually
+        // running (a re-planned attempt differs from the cached one).
+        state->explain = first.explain;
+        state->est_cost = first.est_cost;
+        state->est_rows = first.est_rows;
+        state->filter_joins = first.filter_joins;
+        state->optimizer_stats = first.optimizer_stats;
+        replicas.push_back(std::move(first.root));
+        if (!has_limit &&
+            ParallelExecutor::UnsafeReason(*replicas[0]).empty()) {
+          for (int w = 1; w < effective_dop; ++w) {
+            MAGICDB_ASSIGN_OR_RETURN(PlannedSelect replica,
+                                     db_->PlanBound(meta.bound, opts, ov));
+            replicas.push_back(std::move(replica.root));
+          }
+        }
+        ParallelExecutor executor(has_limit ? 1 : effective_dop);
+        ExecContext proto;
+        proto.InheritConfig(producer->ctx);
+        proto.set_shared_pool(pool_.get());
+        proto.set_reoptimize_qerror_threshold(
+            replans_left > 0 ? reopt_threshold : 0.0);
+        staged_or = executor.RunStaged(std::move(replicas), proto);
+        if (!staged_or.ok() && staged_or.status().IsReoptimizeRequested() &&
+            replans_left > 0) {
+          RecordReoptimization(staged_or.status().message());
+          state->reoptimizations += 1;
+          fold_overlay(&attempt_overlay);
+          // Fresh governor: the aborted gang may have unwound with charges
+          // still on the tracker.
+          if (memory_limit > 0) {
+            state->memory_tracker =
+                std::make_shared<MemoryTracker>(memory_limit);
+            state->sink.set_memory_tracker(state->memory_tracker);
+            producer->ctx.set_memory_tracker(state->memory_tracker);
+          }
+          --replans_left;
+          continue;
+        }
+        break;
+      }
       if (!staged_or.ok() &&
           staged_or.status().code() == StatusCode::kResourceExhausted &&
           spill_active) {
@@ -578,8 +674,9 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
         state->memory_tracker = std::make_shared<MemoryTracker>(memory_limit);
         state->sink.set_memory_tracker(state->memory_tracker);
         producer->ctx.set_memory_tracker(state->memory_tracker);
-        MAGICDB_ASSIGN_OR_RETURN(PlannedSelect sequential,
-                                 db_->PlanBound(meta.bound, opts));
+        MAGICDB_ASSIGN_OR_RETURN(
+            PlannedSelect sequential,
+            db_->PlanBound(meta.bound, opts, base_overlay));
         producer->tree = std::move(sequential.root);
         producer->check_epoch = true;
         state->used_dop = 1;
@@ -620,13 +717,66 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
       if (hit) plan_instance_reuses_->Increment();
     } else {
       MAGICDB_ASSIGN_OR_RETURN(PlannedSelect planned,
-                               db_->PlanBound(meta.bound, opts));
+                               db_->PlanBound(meta.bound, opts, base_overlay));
       instance = std::move(planned.root);
     }
     producer->tree = std::move(instance);
     producer->check_epoch = true;
     producer->check_in = true;
     state->used_dop = 1;
+    if (reopt_threshold > 0) {
+      // Re-optimization arms only an eager Open: every pipeline breaker
+      // completes inside Open(), so a trigger always fires before the first
+      // output row and the restart is invisible to the consumer. Opening
+      // here (still under the DDL lock, like the parallel gang) keeps the
+      // lazily pumped quanta trigger-free.
+      int replans_left = std::max(0, exec.max_reoptimizations);
+      CardinalityOverlay attempt_overlay = feedback_overlay;
+      while (true) {
+        producer->ctx.set_reoptimize_qerror_threshold(
+            replans_left > 0 ? reopt_threshold : 0.0);
+        Status open_status = producer->tree->Open(&producer->ctx);
+        if (open_status.ok()) {
+          producer->opened = true;
+          // Breakers are done; later observations must never fail Next().
+          producer->ctx.set_reoptimize_qerror_threshold(0.0);
+          break;
+        }
+        if (!open_status.IsReoptimizeRequested() || replans_left <= 0) {
+          // Surface execution failures through the stream, exactly as the
+          // lazy Open does: the first Fetch reports them and Close runs the
+          // normal terminal accounting (memory histogram included).
+          FinishProducer(producer, std::move(open_status));
+          return Cursor(state);
+        }
+        RecordReoptimization(open_status.message());
+        state->reoptimizations += 1;
+        // The replacement plan is attempt-specific: never check it back
+        // into the plan cache.
+        producer->check_in = false;
+        fold_overlay(&attempt_overlay);
+        // Fresh context per attempt so the aborted attempt's counters don't
+        // leak into the final totals (Run() has the same contract).
+        ExecContext fresh;
+        fresh.InheritConfig(producer->ctx);
+        producer->ctx = std::move(fresh);
+        if (memory_limit > 0) {
+          state->memory_tracker = std::make_shared<MemoryTracker>(memory_limit);
+          state->sink.set_memory_tracker(state->memory_tracker);
+          producer->ctx.set_memory_tracker(state->memory_tracker);
+        }
+        MAGICDB_ASSIGN_OR_RETURN(
+            PlannedSelect replanned,
+            db_->PlanBound(meta.bound, opts, &attempt_overlay));
+        state->explain = replanned.explain;
+        state->est_cost = replanned.est_cost;
+        state->est_rows = replanned.est_rows;
+        state->filter_joins = replanned.filter_joins;
+        state->optimizer_stats = replanned.optimizer_stats;
+        producer->tree = std::move(replanned.root);
+        --replans_left;
+      }
+    }
     SubmitProducer(producer);
     return Cursor(state);
   }();
@@ -786,6 +936,8 @@ StatusOr<QueryResult> QueryService::QueryViaCursor(Session* session,
   result.used_dop = cursor.used_dop();
   result.parallel_fallback_reason = cursor.parallel_fallback_reason();
   result.filter_join_measured = cursor.filter_join_measured();
+  result.reoptimizations = cursor.reoptimizations();
+  result.feedback = cursor.feedback();
   MAGICDB_RETURN_IF_ERROR(cursor.Close());
   return result;
 }
@@ -794,6 +946,12 @@ void QueryService::RecordParallelFallback(const std::string& reason) {
   parallel_fallbacks_->Increment();
   metrics_
       .counter(kFallbackMetricPrefix + SanitizeReasonLabel(reason) + "}")
+      ->Increment();
+}
+
+void QueryService::RecordReoptimization(const std::string& reason) {
+  reoptimizations_->Increment();
+  metrics_.counter(kReoptMetricPrefix + SanitizeReasonLabel(reason) + "}")
       ->Increment();
 }
 
@@ -840,19 +998,29 @@ ServiceStats QueryService::StatsSnapshot() const {
   s.cursor_producer_parks = cursor_parks_->Value();
   s.cursors_stale = cursors_stale_->Value();
   s.parallel_fallbacks = parallel_fallbacks_->Value();
+  s.reoptimizations = reoptimizations_->Value();
   s.spill_bytes_written = spill_bytes_written_->Value();
   s.spill_bytes_read = spill_bytes_read_->Value();
   s.spill_files_created = spill_files_created_->Value();
   s.spill_partitions_opened = spill_partitions_opened_->Value();
   s.spill_recursion_depth_max = spill_recursion_depth_max_->Value();
   s.spilled_queries = spilled_queries_->Value();
-  const std::string prefix = kFallbackMetricPrefix;
+  // Labeled-counter families, recovered by prefix from the flat registry.
+  const std::pair<const char*, std::map<std::string, int64_t>*> families[] = {
+      {kFallbackMetricPrefix, &s.parallel_fallback_reasons},
+      {kReoptMetricPrefix, &s.reoptimization_reasons},
+      {kCacheHitBackendPrefix, &s.plan_cache_hits_by_backend},
+      {kCacheMissBackendPrefix, &s.plan_cache_misses_by_backend},
+  };
   for (const auto& [name, value] : metrics_.CounterValues()) {
-    if (name.size() > prefix.size() + 1 &&
-        name.compare(0, prefix.size(), prefix) == 0) {
-      const std::string reason =
-          name.substr(prefix.size(), name.size() - prefix.size() - 1);
-      s.parallel_fallback_reasons[reason] = value;
+    for (const auto& [family_prefix, out] : families) {
+      const std::string prefix = family_prefix;
+      if (name.size() > prefix.size() + 1 &&
+          name.compare(0, prefix.size(), prefix) == 0) {
+        const std::string label =
+            name.substr(prefix.size(), name.size() - prefix.size() - 1);
+        (*out)[label] = value;
+      }
     }
   }
   s.admission_wait_us_p50 = admission_wait_us_->Quantile(0.50);

@@ -114,6 +114,15 @@ struct ServiceStats {
   /// shows up here instead of silently shifting latencies.
   int64_t parallel_fallbacks = 0;
   std::map<std::string, int64_t> parallel_fallback_reasons;
+  /// Runtime re-optimizations performed (one per abandoned attempt), total
+  /// and broken down by the sanitized trigger site
+  /// (`magicdb_server_reoptimizations_total{reason=...}`).
+  int64_t reoptimizations = 0;
+  std::map<std::string, int64_t> reoptimization_reasons;
+  /// Plan-cache traffic broken down by the join-order backend that planned
+  /// the statement ({backend=...} labels on the hit/miss counters).
+  std::map<std::string, int64_t> plan_cache_hits_by_backend;
+  std::map<std::string, int64_t> plan_cache_misses_by_backend;
   /// Spill subsystem totals (magicdb_spill_*): bytes moved through spill
   /// files, files/partitions created, deepest recursive partitioning level
   /// seen, and queries that actually spilled.
@@ -269,6 +278,12 @@ class QueryService {
   /// (`magicdb_server_parallel_fallbacks_total{reason=...}`).
   void RecordParallelFallback(const std::string& reason);
 
+  /// Counts one runtime re-optimization: bumps the total plus a per-reason
+  /// counter (`magicdb_server_reoptimizations_total{reason=...}`, the
+  /// reason being the sanitized trigger-site prefix of the
+  /// kReoptimizeRequested status message).
+  void RecordReoptimization(const std::string& reason);
+
   /// Copies the SpillManager's atomics into the magicdb_spill_* mirror
   /// counters (no-op without a spill area).
   void SyncSpillMetrics() const;
@@ -314,6 +329,7 @@ class QueryService {
   Counter* sched_quanta_;
   Counter* morsels_stolen_;
   Counter* parallel_fallbacks_;
+  Counter* reoptimizations_;
   Counter* cursors_opened_;
   Counter* open_cursors_;  // gauge: +1 at Open, -1 at Close
   Counter* rows_streamed_;

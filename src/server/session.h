@@ -11,63 +11,13 @@
 #include "src/common/cancellation.h"
 #include "src/common/statusor.h"
 #include "src/db/database.h"
+#include "src/exec/exec_options.h"
 #include "src/optimizer/optimizer_options.h"
 #include "src/server/cursor.h"
 
 namespace magicdb {
 
 class QueryService;
-
-/// Per-query execution controls a session passes to the service.
-struct ExecOptions {
-  /// Requested degree of parallelism; clamped to the service pool size.
-  /// 1 (default) runs on the fair cooperative scheduler; > 1 runs the
-  /// morsel-parallel executor as a gang on the shared pool when the plan
-  /// shape allows (otherwise it falls back to the sequential path with
-  /// QueryResult::parallel_fallback_reason set).
-  int dop = 1;
-
-  /// Relative deadline for the whole query, admission wait included.
-  /// Zero = no deadline. A query that exceeds it unwinds cooperatively
-  /// with StatusCode::kDeadlineExceeded.
-  std::chrono::microseconds timeout{0};
-
-  /// Optional externally owned token; lets the submitter cancel the query
-  /// from another thread. When null and a timeout is set, the service
-  /// creates an internal token.
-  CancelTokenPtr cancel_token;
-
-  /// High-water mark (rows) of this query's streaming result queue; the
-  /// producer parks once this many rows are buffered unfetched. 0 = the
-  /// service default (QueryServiceOptions::stream_queue_rows).
-  int64_t stream_queue_rows = 0;
-
-  /// Memory limit (bytes) for this query's retained execution state: hash
-  /// and filter-join build tables, spooled production sets, aggregate
-  /// groups, staged parallel rows, and the unfetched result queue. A query
-  /// that would exceed it fails with StatusCode::kResourceExhausted instead
-  /// of growing unbounded. 0 = the service default
-  /// (QueryServiceOptions::query_memory_limit_bytes); negative = explicitly
-  /// ungoverned regardless of the service default.
-  int64_t memory_limit_bytes = 0;
-
-  /// Whether this query may degrade to out-of-core execution (Grace hash
-  /// join, hybrid hash aggregation, external merge sort) when it breaches
-  /// its memory limit. Effective only when the service has a spill area
-  /// (QueryServiceOptions::spill_dir); false keeps the hard
-  /// kResourceExhausted failure even then.
-  bool allow_spill = true;
-
-  /// Rows per batch for the vectorized execution path (Operator::NextBatch):
-  /// operators exchange column-oriented batches instead of single tuples,
-  /// with memory charges and cancellation checks coalesced per batch.
-  /// Results, result order, and cost counters are byte-identical to the
-  /// tuple-at-a-time path at any dop. 0 = classic tuple-at-a-time
-  /// execution; negative (the default) = the service default
-  /// (QueryServiceOptions::default_batch_size, normally 1024). The
-  /// effective value participates in the plan-cache key.
-  int64_t batch_size = -1;
-};
 
 /// One client's connection to a QueryService: per-session optimizer
 /// options, named prepared statements, and the entry points that route

@@ -1,0 +1,63 @@
+#include "src/stats/feedback_store.h"
+
+namespace magicdb {
+
+std::string FeedbackScanKey(const std::string& prefix, const std::string& name,
+                            const std::vector<ExprPtr>& local_preds) {
+  std::vector<std::string> rendered;
+  rendered.reserve(local_preds.size());
+  for (const ExprPtr& p : local_preds) rendered.push_back(p->ToString());
+  std::sort(rendered.begin(), rendered.end());
+  std::string key = prefix;
+  key += ':';
+  key += name;
+  key += '|';
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) key += '&';
+    key += rendered[i];
+  }
+  return key;
+}
+
+bool IsOverlayKey(const std::string& key) {
+  return key.rfind("scan:", 0) == 0 || key.rfind("view:", 0) == 0;
+}
+
+int FeedbackStore::Fold(
+    const std::vector<CardinalityObservation>& observations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int changed = 0;
+  for (const CardinalityObservation& obs : observations) {
+    if (!obs.exact || !IsOverlayKey(obs.key)) continue;
+    double& slot = overlay_.rows[obs.key];
+    if (slot != obs.actual) {
+      slot = obs.actual;
+      ++changed;
+    }
+  }
+  if (changed > 0) ++version_;
+  return changed;
+}
+
+CardinalityOverlay FeedbackStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_;
+}
+
+int64_t FeedbackStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+size_t FeedbackStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_.rows.size();
+}
+
+void FeedbackStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  overlay_.rows.clear();
+  ++version_;
+}
+
+}  // namespace magicdb

@@ -132,6 +132,38 @@ TEST(OptimizerOptionsTest, BloomBitsPerKeyAffectsExecution) {
   EXPECT_TRUE(SameMultiset(sloppy->rows, tight->rows));
 }
 
+TEST(JoinOrderBackendTest, GreedyMatchesDpResultsAndExplainNamesBackend) {
+  auto db = TwoTables();
+  auto dp = db->Query(kJoinQuery);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_NE(dp->explain.find("backend=dp"), std::string::npos) << dp->explain;
+
+  db->mutable_optimizer_options()->join_order_backend = "greedy";
+  auto greedy = db->Query(kJoinQuery);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  EXPECT_NE(greedy->explain.find("backend=greedy"), std::string::npos)
+      << greedy->explain;
+  // Both backends search the same plan space under the same cost model;
+  // whatever order each picks, the answer set is identical.
+  EXPECT_TRUE(SameMultiset(dp->rows, greedy->rows));
+}
+
+TEST(JoinOrderBackendTest, UnknownBackendFailsWithInvalidArgument) {
+  auto db = TwoTables();
+  db->mutable_optimizer_options()->join_order_backend = "simulated-annealing";
+  auto r = db->Query(kJoinQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("join_order_backend"),
+            std::string::npos);
+}
+
+TEST(JoinOrderBackendTest, FingerprintSeparatesBackends) {
+  OptimizerOptions a, b;
+  b.join_order_backend = "greedy";
+  EXPECT_NE(OptimizerOptionsFingerprint(a), OptimizerOptionsFingerprint(b));
+}
+
 TEST(OptimizerOptionsTest, MemoryBudgetChangesCostsNotResults) {
   auto db = TwoTables();
   db->mutable_optimizer_options()->memory_budget_bytes = 1 << 26;
