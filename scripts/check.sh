@@ -40,6 +40,14 @@
 # ASan must see no lifetime bugs in the spill readers/writers. Tests that
 # pin their own limit or spill dir are unaffected (explicit options win
 # over the environment).
+#
+# An overload chaos sweep then reruns the overload suite (and the exact-count
+# server stress test) inside the Release and TSAN failpoint builds with a
+# tiny admission-queue high-water injected via environment and delay
+# failpoints armed on the shed and disk-budget decision points: the service
+# must shed instead of queueing unboundedly, Query()'s retry loop must
+# absorb the rejections, and survivors must stay byte-identical with zero
+# leaked tickets, gang slots, cursors, or disk-budget bytes.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -118,7 +126,19 @@ MAGICDB_TEST_BATCH_SIZE=0 \
 echo "=== Server-throughput bench smoke (ASan+UBSan) ==="
 ./build-asan/bench/bench_server_throughput --smoke
 
-CHAOS_FILTER='ChaosTest.*:ExecFailpointTest.*:MemoryGovernorTest.*:MemoryTrackerTest.*:ServerStressTest.*:SpillChaosTest.*:DdlChaosTest.*'
+CHAOS_FILTER='ChaosTest.*:ExecFailpointTest.*:MemoryGovernorTest.*:MemoryTrackerTest.*:ServerStressTest.*:SpillChaosTest.*:DdlChaosTest.*:OverloadTest.*:OverloadFairnessTest.*:OverloadChaosTest.*'
+
+# Overload chaos sweep: a tiny admission queue high-water injected via the
+# environment (applied only where shed_queue_depth is unset) plus delay
+# failpoints on the shed and disk-budget-charge decision points. Query()'s
+# shed-retry loop must absorb the rejections — results stay byte-identical
+# and nothing leaks. ServerStressTest's exact-count accounting rides along:
+# sheds are refusals at the door, not submitted/failed queries.
+OVERLOAD_FILTER='OverloadTest.*:OverloadChaosTest.*:ServerStressTest.ConcurrentSessionsMatchSequentialBaseline'
+OVERLOAD_ENV=(
+  MAGICDB_TEST_SHED_QUEUE_DEPTH=2
+  MAGICDB_FAILPOINT_DELAYS='admission.shed:20,spill.budget.charge:20'
+)
 
 # Env for the low-memory chaos sweep: an 8 MiB default query memory limit
 # (applied only where QueryServiceOptions leaves the limit unset), a shared
@@ -141,11 +161,19 @@ cmake --build build-chaos -j "${JOBS}"
 echo "=== Low-memory chaos sweep (Release + failpoints, full suite) ==="
 env "${LOWMEM_ENV[@]}" ./build-chaos/tests/magicdb_tests
 
+echo "=== Overload chaos sweep (Release + failpoints) ==="
+env "${OVERLOAD_ENV[@]}" \
+  ./build-chaos/tests/magicdb_tests --gtest_filter="${OVERLOAD_FILTER}"
+
 echo "=== Chaos build (TSAN + failpoints) ==="
 cmake -B build-chaos-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DMAGICDB_SANITIZE=thread -DMAGICDB_FAILPOINTS=ON >/dev/null
 cmake --build build-chaos-tsan -j "${JOBS}"
 ./build-chaos-tsan/tests/magicdb_tests --gtest_filter="${CHAOS_FILTER}"
+
+echo "=== Overload chaos sweep (TSAN + failpoints) ==="
+env "${OVERLOAD_ENV[@]}" \
+  ./build-chaos-tsan/tests/magicdb_tests --gtest_filter="${OVERLOAD_FILTER}"
 
 echo "=== Chaos build (ASan+UBSan + failpoints) ==="
 cmake -B build-chaos-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,27 @@
+#include "src/common/backoff.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace magicdb {
+
+namespace {
+const char kRetryAfterKey[] = "retry_after_us=";
+}  // namespace
+
+std::string FormatRetryAfterHint(int64_t retry_after_us) {
+  return kRetryAfterKey + std::to_string(retry_after_us);
+}
+
+int64_t ParseRetryAfterUs(const std::string& message) {
+  const size_t pos = message.find(kRetryAfterKey);
+  if (pos == std::string::npos) return -1;
+  const size_t start = pos + sizeof(kRetryAfterKey) - 1;
+  if (start >= message.size() ||
+      !std::isdigit(static_cast<unsigned char>(message[start]))) {
+    return -1;
+  }
+  return std::strtoll(message.c_str() + start, nullptr, 10);
+}
+
+}  // namespace magicdb

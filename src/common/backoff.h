@@ -1,0 +1,57 @@
+#ifndef MAGICDB_COMMON_BACKOFF_H_
+#define MAGICDB_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace magicdb {
+
+/// Capped exponential backoff with jitter, shared by every retry loop in
+/// the serving layer (DDL-staleness replans, shed-and-retry under
+/// overload). One instance covers one retry sequence; the caller supplies
+/// the PRNG so jitter is deterministic under a fixed seed (sessions seed
+/// theirs from the session id).
+class Backoff {
+ public:
+  /// `initial_us` is the first delay before jitter; each NextDelayUs()
+  /// doubles it up to `max_us`. Jitter adds up to half the current delay.
+  Backoff(int64_t initial_us, int64_t max_us, Random* rng)
+      : current_us_(std::max<int64_t>(1, initial_us)),
+        max_us_(std::max<int64_t>(1, max_us)),
+        rng_(rng) {}
+
+  /// The next delay to sleep (current + jitter), advancing the sequence.
+  int64_t NextDelayUs() {
+    const int64_t jitter =
+        rng_ != nullptr ? rng_->UniformInt(0, current_us_ / 2 + 1) : 0;
+    const int64_t delay = current_us_ + jitter;
+    current_us_ = std::min(current_us_ * 2, max_us_);
+    return delay;
+  }
+
+  /// The delay the next NextDelayUs() call will start from (pre-jitter).
+  int64_t current_us() const { return current_us_; }
+
+ private:
+  int64_t current_us_;
+  const int64_t max_us_;
+  Random* rng_;
+};
+
+/// Machine-readable retry hint carried in kUnavailable shed statuses:
+/// "retry_after_us=<N>" embedded anywhere in the message. The wrapper
+/// retry loop treats its presence as "this failure is retryable after a
+/// backoff" — a plain kUnavailable (e.g. a draining service) carries no
+/// hint and is surfaced immediately.
+std::string FormatRetryAfterHint(int64_t retry_after_us);
+
+/// Extracts the hint from a status message; returns -1 when absent or
+/// malformed.
+int64_t ParseRetryAfterUs(const std::string& message);
+
+}  // namespace magicdb
+
+#endif  // MAGICDB_COMMON_BACKOFF_H_

@@ -31,6 +31,15 @@ class CancelToken {
                                    std::memory_order_relaxed);
   }
 
+  /// Cancellation variant fired by the stuck-query watchdog: same sticky
+  /// kCancelled code, but the message attributes the kill to the watchdog
+  /// so clients (and tests) can tell a stalled query from a client cancel.
+  void CancelStalled() {
+    int expected = kLive;
+    state_.compare_exchange_strong(expected, kStalled,
+                                   std::memory_order_relaxed);
+  }
+
   /// Arms (or re-arms) an absolute deadline. Checked lazily by Check().
   void SetDeadline(std::chrono::steady_clock::time_point deadline) {
     deadline_ns_.store(deadline.time_since_epoch().count(),
@@ -63,6 +72,10 @@ class CancelToken {
         return Status::OK();
       case kCancelled:
         return Status::Cancelled("query cancelled");
+      case kStalled:
+        return Status::Cancelled(
+            "query cancelled by stuck-query watchdog: no execution progress "
+            "within the stall timeout");
       default:
         return Status::DeadlineExceeded("query deadline exceeded");
     }
@@ -85,6 +98,7 @@ class CancelToken {
   static constexpr int kLive = 0;
   static constexpr int kCancelled = 1;
   static constexpr int kDeadline = 2;
+  static constexpr int kStalled = 3;
   static constexpr int64_t kNoDeadline =
       std::numeric_limits<int64_t>::max();
 

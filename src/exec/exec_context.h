@@ -1,6 +1,7 @@
 #ifndef MAGICDB_EXEC_EXEC_CONTEXT_H_
 #define MAGICDB_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -191,6 +192,25 @@ class ExecContext {
     cardinality_feedback_ = std::move(f);
   }
 
+  /// Shared liveness heartbeat for the stuck-query watchdog. Producers bump
+  /// it at coarse checkpoints (pump quanta, staged rows, spill frames); the
+  /// watchdog cancels a query whose heartbeat stops advancing. Null (the
+  /// default) disables publication at zero cost.
+  void set_progress_heartbeat(std::shared_ptr<std::atomic<int64_t>> hb) {
+    progress_heartbeat_ = std::move(hb);
+  }
+  const std::shared_ptr<std::atomic<int64_t>>& progress_heartbeat() const {
+    return progress_heartbeat_;
+  }
+
+  /// Publishes `amount` units of forward progress (rows, batches, or spill
+  /// bytes — the watchdog only cares that the value moves).
+  void NoteProgress(int64_t amount) {
+    if (progress_heartbeat_ != nullptr) {
+      progress_heartbeat_->fetch_add(amount, std::memory_order_relaxed);
+    }
+  }
+
   /// Q-error above which an annotated pipeline breaker aborts the attempt
   /// with kReoptimizeRequested; <= 0 disables triggering (observations are
   /// still recorded).
@@ -227,6 +247,7 @@ class ExecContext {
     shared_pool_ = proto.shared_pool_;
     cardinality_feedback_ = proto.cardinality_feedback_;
     reoptimize_qerror_threshold_ = proto.reoptimize_qerror_threshold_;
+    progress_heartbeat_ = proto.progress_heartbeat_;
   }
 
  private:
@@ -239,6 +260,7 @@ class ExecContext {
   ThreadPool* shared_pool_ = nullptr;
   std::shared_ptr<CardinalityFeedback> cardinality_feedback_;
   double reoptimize_qerror_threshold_ = 0.0;
+  std::shared_ptr<std::atomic<int64_t>> progress_heartbeat_;
   std::map<std::string, std::shared_ptr<FilterSetBinding>> filter_sets_;
   int64_t next_filter_set_id_ = 0;
 };

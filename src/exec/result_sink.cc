@@ -140,6 +140,11 @@ bool ResultSink::finished() const {
   return finished_;
 }
 
+bool ResultSink::producer_parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_resume_ != nullptr;
+}
+
 Status ResultSink::final_status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return final_status_;

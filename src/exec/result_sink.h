@@ -92,6 +92,11 @@ class ResultSink {
   /// True once Finish was called (rows may still be queued).
   bool finished() const;
 
+  /// True while the producer is parked on the high-water mark waiting for
+  /// the consumer. The stuck-query watchdog skips parked producers: a
+  /// consumer that isn't fetching is backpressure, not a stall.
+  bool producer_parked() const;
+
   /// Terminal status; OK until Finish is called with an error.
   Status final_status() const;
 

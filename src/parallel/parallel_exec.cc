@@ -202,6 +202,7 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
         if (!ss.ok()) return fail(std::move(ss));
       }
       // Per-batch cancellation checkpoint replaces the per-1024-rows one.
+      ctx->NoteProgress(n + 1);
       Status cc = ctx->CheckCancelled();
       if (!cc.ok()) return fail(std::move(cc));
     }
@@ -227,6 +228,7 @@ Status RunPipeline(Operator* root, const ReplicaShape& shape,
       // Morsel-loop cancellation checkpoint (the driving scan also checks at
       // every morsel claim; this covers probe-heavy plans between claims).
       if ((++rows_staged & 1023) == 0) {
+        ctx->NoteProgress(1024);
         Status cc = ctx->CheckCancelled();
         if (!cc.ok()) return fail(std::move(cc));
       }

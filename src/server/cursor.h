@@ -1,6 +1,7 @@
 #ifndef MAGICDB_SERVER_CURSOR_H_
 #define MAGICDB_SERVER_CURSOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,16 @@ struct CursorState {
   /// (empty when this execution's tree is not poolable).
   std::string cache_key;
   std::chrono::steady_clock::time_point start_time{};
+  /// Bytes this query claims against the service-wide memory ceiling (its
+  /// effective memory limit; 0 when ungoverned or no ceiling configured).
+  /// Released together with the admission ticket at close.
+  int64_t memory_claim = 0;
+  /// Live-query registry id (stuck-query watchdog, graceful drain);
+  /// 0 = never registered.
+  uint64_t watch_id = 0;
+  /// Liveness heartbeat shared with every execution context of the query;
+  /// the watchdog cancels the token when it stops advancing.
+  std::shared_ptr<std::atomic<int64_t>> progress_heartbeat;
 
   // Plan metadata, immutable once the cursor is handed out.
   Schema schema;

@@ -10,7 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/backoff.h"
 #include "src/common/failpoint.h"
+#include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/exec/exec_context.h"
 #include "src/exec/row_batch.h"
@@ -52,6 +54,21 @@ const char kCacheHitBackendPrefix[] =
     "magicdb_server_plan_cache_hits_total{backend=";
 const char kCacheMissBackendPrefix[] =
     "magicdb_server_plan_cache_misses_total{backend=";
+const char kShedReasonPrefix[] = "magicdb_server_sheds_total{reason=";
+const char kWatchdogReasonPrefix[] =
+    "magicdb_server_watchdog_cancels_total{reason=";
+const char kAdmittedPriorityPrefix[] =
+    "magicdb_server_queries_admitted_total{priority=";
+
+/// Virtual-time advance per admission is kVirtualTimeScale / weight, so a
+/// lane with twice the weight is served twice as often under saturation.
+/// The scale only needs to dwarf the largest weight; 2^20 over int64 lanes
+/// cannot overflow within any realistic admission count.
+constexpr int64_t kVirtualTimeScale = 1 << 20;
+
+int PriorityIndex(SessionPriority priority) {
+  return static_cast<int>(priority);
+}
 
 }  // namespace
 
@@ -129,6 +146,23 @@ std::string ServiceStats::ToString() const {
      << " spill_partitions=" << spill_partitions_opened
      << " spill_depth_max=" << spill_recursion_depth_max
      << " spilled_queries=" << spilled_queries;
+  os << " queued_queries=" << queued_queries << " sheds=" << queries_shed;
+  for (const auto& [reason, count] : shed_reasons) {
+    os << " shed[" << reason << "]=" << count;
+  }
+  os << " shed_retries=" << query_shed_retries
+     << " watchdog_cancels=" << watchdog_cancels;
+  for (const auto& [reason, count] : watchdog_cancel_reasons) {
+    os << " watchdog[" << reason << "]=" << count;
+  }
+  for (const auto& [priority, count] : admitted_by_priority) {
+    os << " admitted[" << priority << "]=" << count;
+  }
+  os << " memory_ceiling_claimed=" << memory_ceiling_claimed_bytes
+     << " spill_disk_budget=" << spill_disk_budget_bytes
+     << " spill_disk_used=" << spill_disk_used_bytes
+     << " spill_disk_rejections=" << spill_disk_rejections
+     << " draining=" << (draining ? 1 : 0);
   return os.str();
 }
 
@@ -168,11 +202,30 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   if (options_.default_batch_size < 0) {
     options_.default_batch_size = DefaultExecBatchSize();
   }
+  // Same env-hook convention as the limits above: the shed high-water mark
+  // applies only where construction left the default, and a negative value
+  // explicitly opts a service out of the sweep.
+  if (options_.shed_queue_depth == 0) {
+    if (const char* env = std::getenv("MAGICDB_TEST_SHED_QUEUE_DEPTH")) {
+      options_.shed_queue_depth = static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+  }
+  if (options_.shed_queue_depth < 0) options_.shed_queue_depth = 0;
+  if (options_.shed_wait_estimate_us < 0) options_.shed_wait_estimate_us = 0;
+  admission_weights_[PriorityIndex(SessionPriority::kHigh)] =
+      std::max(1, options_.admission_weight_high);
+  admission_weights_[PriorityIndex(SessionPriority::kNormal)] =
+      std::max(1, options_.admission_weight_normal);
+  admission_weights_[PriorityIndex(SessionPriority::kBackground)] =
+      std::max(1, options_.admission_weight_background);
   if (!options_.spill_dir.empty()) {
     SpillConfig spill_config;
     spill_config.dir = options_.spill_dir;
     if (options_.spill_batch_bytes > 0) {
       spill_config.batch_bytes = options_.spill_batch_bytes;
+    }
+    if (options_.spill_disk_budget_bytes > 0) {
+      spill_config.disk_budget_bytes = options_.spill_disk_budget_bytes;
     }
     spill_manager_ = std::make_shared<SpillManager>(spill_config);
   }
@@ -215,23 +268,77 @@ QueryService::QueryService(Database* db, const QueryServiceOptions& options)
   spill_recursion_depth_max_ =
       metrics_.counter("magicdb_spill_recursion_depth_max");
   spilled_queries_ = metrics_.counter("magicdb_spill_queries_total");
+  queries_shed_ = metrics_.counter("magicdb_server_sheds_total");
+  query_shed_retries_ =
+      metrics_.counter("magicdb_server_query_shed_retries_total");
+  watchdog_cancels_ =
+      metrics_.counter("magicdb_server_watchdog_cancels_total");
+  spill_disk_budget_bytes_ =
+      metrics_.counter("magicdb_spill_disk_budget_bytes");
+  spill_disk_used_bytes_ = metrics_.counter("magicdb_spill_disk_used_bytes");
+  spill_disk_rejections_ =
+      metrics_.counter("magicdb_spill_disk_rejections_total");
+  memory_ceiling_claimed_bytes_ =
+      metrics_.counter("magicdb_server_memory_ceiling_claimed_bytes");
   admission_wait_us_ = metrics_.histogram("magicdb_server_admission_wait_us");
+  for (int p = 0; p < kNumSessionPriorities; ++p) {
+    const std::string label =
+        SessionPriorityName(static_cast<SessionPriority>(p));
+    admission_wait_us_by_priority_[p] = metrics_.histogram(
+        "magicdb_server_admission_wait_us{priority=" + label + "}");
+    admitted_by_priority_[p] =
+        metrics_.counter(kAdmittedPriorityPrefix + label + "}");
+  }
   query_latency_us_ = metrics_.histogram("magicdb_server_query_latency_us");
   cursor_batch_wait_us_ =
       metrics_.histogram("magicdb_server_cursor_batch_wait_us");
   query_memory_bytes_ = metrics_.histogram("magicdb_server_query_memory_bytes");
+
+  if (options_.watchdog_stall_timeout.count() > 0) {
+    if (options_.watchdog_poll_interval.count() <= 0) {
+      options_.watchdog_poll_interval = std::max(
+          std::chrono::milliseconds(1), options_.watchdog_stall_timeout / 4);
+    }
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 QueryService::~QueryService() {
-  // Drain in-flight work before members (pool first in reverse order of
-  // declaration would destroy metrics while tasks still run).
+  // Stop the watchdog before tearing anything down; it walks live_queries_.
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+  // Stop admitting, cancel whatever is still producing, then drain in-flight
+  // work before members (pool first in reverse order of declaration would
+  // destroy metrics while tasks still run).
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    draining_ = true;
+  }
+  admit_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    for (auto& [id, entry] : live_queries_) {
+      entry.state->token->Cancel();
+    }
+  }
   pool_->WaitIdle();
 }
 
 std::unique_ptr<Session> QueryService::CreateSession() {
+  return CreateSession(SessionOptions{});
+}
+
+std::unique_ptr<Session> QueryService::CreateSession(
+    const SessionOptions& session_options) {
   const int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_ptr<Session>(
-      new Session(this, id, *db_->mutable_optimizer_options()));
+  return std::unique_ptr<Session>(new Session(
+      this, id, *db_->mutable_optimizer_options(), session_options));
 }
 
 Status QueryService::Execute(const std::string& ddl) {
@@ -261,38 +368,154 @@ StatusOr<std::string> QueryService::Explain(const std::string& sql,
   return planned.explain;
 }
 
-Status QueryService::Admit(int gang_slots, const CancelToken* token) {
+int64_t QueryService::QueuedLocked() const {
+  int64_t queued = 0;
+  for (const AdmissionLane& lane : admit_lanes_) {
+    queued += static_cast<int64_t>(lane.waiters.size());
+  }
+  return queued;
+}
+
+int64_t QueryService::EstimateAdmissionWaitUsLocked() const {
+  const int64_t ewma =
+      ewma_query_latency_us_.load(std::memory_order_relaxed);
+  if (ewma <= 0) return 0;
+  // Everyone queued ahead plus this query, divided across the admission
+  // slots. Crude, but monotone in queue depth — exactly what a shed
+  // threshold needs.
+  const int64_t depth = QueuedLocked() + 1;
+  return depth * ewma / std::max(1, options_.max_concurrent_queries);
+}
+
+void QueryService::RecordShed(const char* reason) {
+  queries_shed_->Increment();
+  metrics_.counter(kShedReasonPrefix + std::string(reason) + "}")->Increment();
+}
+
+Status QueryService::MaybeShed(SessionPriority priority) {
+  // High priority is never shed: latency-critical clients queue instead,
+  // and weighted-fair admission keeps their wait short.
+  if (priority == SessionPriority::kHigh) return Status::OK();
+#ifdef MAGICDB_FAILPOINTS
+  {
+    Status injected = MAGICDB_FAILPOINT_EVAL("admission.shed");
+    if (!injected.ok()) {
+      RecordShed("failpoint");
+      return injected;
+    }
+  }
+#endif
+  const char* reason = nullptr;
+  int64_t est_wait_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    const int64_t depth = QueuedLocked();
+    est_wait_us = EstimateAdmissionWaitUsLocked();
+    if (options_.shed_queue_depth > 0 && depth >= options_.shed_queue_depth) {
+      reason = "queue_depth";
+    } else if (options_.shed_wait_estimate_us > 0 &&
+               est_wait_us >= options_.shed_wait_estimate_us) {
+      reason = "est_wait";
+    }
+  }
+  if (reason == nullptr) return Status::OK();
+  RecordShed(reason);
+  // The hint tells the client when retrying is plausible: the estimated
+  // drain time, clamped so a cold estimator still produces a usable delay
+  // and a pathological one cannot park clients for minutes.
+  const int64_t hint_us = std::clamp<int64_t>(est_wait_us, 100, 1000000);
+  return Status::Unavailable(
+      std::string("server overloaded (") + reason +
+      "): admission queue is saturated; " + FormatRetryAfterHint(hint_us));
+}
+
+int QueryService::PickClassLocked() const {
+  int best = -1;
+  for (int p = 0; p < kNumSessionPriorities; ++p) {
+    if (admit_lanes_[p].waiters.empty()) continue;
+    if (best < 0 ||
+        admit_lanes_[p].virtual_time < admit_lanes_[best].virtual_time ||
+        (admit_lanes_[p].virtual_time == admit_lanes_[best].virtual_time &&
+         admit_lanes_[p].waiters.front() <
+             admit_lanes_[best].waiters.front())) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+Status QueryService::Admit(SessionPriority priority, int gang_slots,
+                           int64_t memory_claim, const CancelToken* token) {
   const Clock::time_point start = Clock::now();
+  const int pri = PriorityIndex(priority);
   std::unique_lock<std::mutex> lock(admit_mu_);
+  if (draining_) {
+    // No retry hint: a draining service will not come back, so Query()'s
+    // shed-retry loop must surface this instead of spinning on it.
+    return Status::Unavailable("service is draining; not accepting queries");
+  }
   const uint64_t ticket = next_ticket_++;
-  admit_queue_.push_back(ticket);
+  AdmissionLane& lane = admit_lanes_[pri];
+  if (lane.waiters.empty()) {
+    // (Re)joining lanes inherit the busiest competitor's progress so a lane
+    // that idled cannot burn banked credit starving everyone else; when the
+    // whole system idles, restart all clocks from zero.
+    int64_t min_busy = -1;
+    for (int p = 0; p < kNumSessionPriorities; ++p) {
+      if (p == pri || admit_lanes_[p].waiters.empty()) continue;
+      if (min_busy < 0 || admit_lanes_[p].virtual_time < min_busy) {
+        min_busy = admit_lanes_[p].virtual_time;
+      }
+    }
+    if (min_busy < 0) {
+      for (AdmissionLane& l : admit_lanes_) l.virtual_time = 0;
+    } else {
+      lane.virtual_time = std::max(lane.virtual_time, min_busy);
+    }
+  }
+  lane.waiters.push_back(ticket);
   const int gang_capacity = pool_->size();
+  // Weighted-fair head-of-line semantics: only the candidate lane's head
+  // may admit, and it blocks everyone until its ticket, gang slots, and
+  // memory claim all fit — so a wide gang or fat query is delayed, never
+  // starved by smaller queries slipping past it.
   auto can_run = [&] {
-    return admit_queue_.front() == ticket &&
+    return lane.waiters.front() == ticket && PickClassLocked() == pri &&
            active_queries_ < options_.max_concurrent_queries &&
-           used_gang_slots_ + gang_slots <= gang_capacity;
+           used_gang_slots_ + gang_slots <= gang_capacity &&
+           (options_.service_memory_ceiling_bytes <= 0 || memory_claim <= 0 ||
+            memory_ceiling_claimed_ + memory_claim <=
+                options_.service_memory_ceiling_bytes);
   };
   while (!can_run()) {
-    if (token != nullptr) {
-      Status s = token->Check();
-      if (!s.ok()) {
-        // Abandon the ticket; whoever is behind us may now be at the head.
-        admit_queue_.erase(
-            std::find(admit_queue_.begin(), admit_queue_.end(), ticket));
-        admit_cv_.notify_all();
-        return s;
-      }
+    Status s;
+    if (draining_) {
+      s = Status::Unavailable("service is draining; not accepting queries");
+    } else if (token != nullptr) {
+      s = token->Check();
+    }
+    if (!s.ok()) {
+      // Abandon the ticket; whoever is behind us may now be at the head.
+      lane.waiters.erase(
+          std::find(lane.waiters.begin(), lane.waiters.end(), ticket));
+      admit_cv_.notify_all();
+      return s;
     }
     // Bounded wait so a queued query notices its deadline firing even when
     // nothing releases capacity.
     admit_cv_.wait_for(lock, std::chrono::milliseconds(2));
   }
-  admit_queue_.pop_front();
+  lane.waiters.pop_front();
+  lane.virtual_time += kVirtualTimeScale / admission_weights_[pri];
   active_queries_ += 1;
   used_gang_slots_ += gang_slots;
+  if (memory_claim > 0) memory_ceiling_claimed_ += memory_claim;
   // The next waiter may need no gang slots and still fit.
   admit_cv_.notify_all();
-  admission_wait_us_->Observe(ElapsedUs(start));
+  const int64_t waited_us = ElapsedUs(start);
+  admission_wait_us_->Observe(waited_us);
+  admission_wait_us_by_priority_[pri]->Observe(waited_us);
+  admitted_by_priority_[pri]->Increment();
   return Status::OK();
 }
 
@@ -305,12 +528,120 @@ void QueryService::ReleaseGangSlots(int gang_slots) {
   admit_cv_.notify_all();
 }
 
-void QueryService::ReleaseTicket() {
+void QueryService::ReleaseTicket(int64_t memory_claim) {
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     active_queries_ -= 1;
+    if (memory_claim > 0) memory_ceiling_claimed_ -= memory_claim;
   }
   admit_cv_.notify_all();
+}
+
+uint64_t QueryService::RegisterLiveQuery(
+    const std::shared_ptr<CursorState>& state) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  const uint64_t id = next_watch_id_++;
+  LiveQueryEntry& entry = live_queries_[id];
+  entry.state = state;
+  entry.last_advance = Clock::now();
+  return id;
+}
+
+void QueryService::UnregisterLiveQuery(uint64_t watch_id) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  live_queries_.erase(watch_id);
+}
+
+void QueryService::WatchdogLoop() {
+  const auto stall = options_.watchdog_stall_timeout;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, options_.watchdog_poll_interval,
+                            [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    std::lock_guard<std::mutex> lock(live_mu_);
+    const Clock::time_point now = Clock::now();
+    for (auto& [id, entry] : live_queries_) {
+      CursorState* state = entry.state.get();
+      // A finished stream is waiting on its consumer, and a parked producer
+      // is waiting on backpressure — neither is stalled execution. Reset
+      // the stall clock so time spent there never counts.
+      if (state->sink.finished() || state->sink.producer_parked()) {
+        entry.last_advance = now;
+        continue;
+      }
+      const int64_t beat =
+          state->progress_heartbeat != nullptr
+              ? state->progress_heartbeat->load(std::memory_order_relaxed)
+              : 0;
+      if (beat != entry.last_heartbeat) {
+        entry.last_heartbeat = beat;
+        entry.last_advance = now;
+        continue;
+      }
+      if (entry.cancelled_by_watchdog || now - entry.last_advance < stall) {
+        continue;
+      }
+      // No progress for a full stall timeout: kill the query. CancelStalled
+      // only transitions a live token, so an already-cancelled or
+      // deadline-expired query keeps its own classification.
+      MAGICDB_FAILPOINT_HIT("watchdog.fire");
+      state->token->CancelStalled();
+      entry.cancelled_by_watchdog = true;
+      watchdog_cancels_->Increment();
+      const char* reason = state->sink.total_rows_pushed() == 0
+                               ? "before_first_row"
+                               : "mid_stream";
+      metrics_.counter(kWatchdogReasonPrefix + std::string(reason) + "}")
+          ->Increment();
+    }
+  }
+}
+
+Status QueryService::Shutdown(std::chrono::milliseconds grace) {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    draining_ = true;
+  }
+  admit_cv_.notify_all();
+
+  // Phase 1: let in-flight queries finish naturally (clients are expected
+  // to drain and close their cursors).
+  auto wait_for_idle = [&](Clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(admit_mu_);
+    while (active_queries_ > 0 && Clock::now() < deadline) {
+      admit_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    return active_queries_ == 0;
+  };
+  bool idle = wait_for_idle(Clock::now() + grace);
+
+  // Phase 2: cancel the stragglers' tokens and give their clients one more
+  // grace period to observe the cancellation and close.
+  if (!idle) {
+    {
+      std::lock_guard<std::mutex> lock(live_mu_);
+      for (auto& [id, entry] : live_queries_) {
+        entry.state->token->Cancel();
+      }
+    }
+    idle = wait_for_idle(Clock::now() + grace);
+  }
+  pool_->WaitIdle();
+
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (active_queries_ != 0) {
+    return Status::DeadlineExceeded(
+        "drain incomplete: " + std::to_string(active_queries_) +
+        " cursors still open after cancellation; their clients must Close()");
+  }
+  // A drained service must hold no residual capacity — the same invariant
+  // the chaos suite asserts after every injected fault.
+  MAGICDB_CHECK(used_gang_slots_ == 0);
+  MAGICDB_CHECK(memory_ceiling_claimed_ == 0);
+  return Status::OK();
 }
 
 void QueryService::SubmitProducer(const std::shared_ptr<StreamProducer>& p) {
@@ -383,6 +714,9 @@ void QueryService::PumpQuantum(const std::shared_ptr<StreamProducer>& p) {
       status = p->tree->Close();
     }
   }
+  // A quantum that ran (even to an empty batch or an error) is progress;
+  // a parked producer returned above, so parking never feeds the watchdog.
+  p->ctx.NoteProgress(static_cast<int64_t>(batch.size()) + 1);
   if (!batch.empty()) {
     Status push_status = MAGICDB_FAILPOINT_EVAL("server.sink.push");
     if (push_status.ok()) push_status = c->sink.Push(std::move(batch));
@@ -425,6 +759,13 @@ void QueryService::FinishProducer(const std::shared_ptr<StreamProducer>& p,
 
 StatusOr<Cursor> QueryService::Open(Session* session, const std::string& sql,
                                     const ExecOptions& exec) {
+  // Shedding happens before the query counts as submitted: a shed is a
+  // refusal at the door, visible in sheds_total (and the per-reason
+  // family) but never in the submitted/completed/failed ledger — retried
+  // sheds must not inflate the exact-count accounting invariants.
+  Status shed = MaybeShed(session->priority());
+  if (!shed.ok()) return shed;
+
   queries_submitted_->Increment();
   const Clock::time_point start = Clock::now();
 
@@ -453,7 +794,25 @@ StatusOr<Cursor> QueryService::Open(Session* session, const std::string& sql,
     query_latency_us_->Observe(ElapsedUs(start));
   };
 
-  Status admitted = Admit(gang_slots, token.get());
+  // The query's claim against the service memory ceiling is its effective
+  // memory limit — the most it can retain. Ungoverned queries claim nothing.
+  const int64_t memory_limit = exec.memory_limit_bytes != 0
+                                   ? exec.memory_limit_bytes
+                                   : options_.query_memory_limit_bytes;
+  const int64_t memory_claim = memory_limit > 0 ? memory_limit : 0;
+  if (options_.service_memory_ceiling_bytes > 0 &&
+      memory_claim > options_.service_memory_ceiling_bytes) {
+    Status too_big = Status::ResourceExhausted(
+        "query memory limit " + std::to_string(memory_claim) +
+        " exceeds the service memory ceiling " +
+        std::to_string(options_.service_memory_ceiling_bytes) +
+        " bytes; it could never be admitted");
+    classify_failure(too_big);
+    return too_big;
+  }
+
+  Status admitted =
+      Admit(session->priority(), gang_slots, memory_claim, token.get());
   if (!admitted.ok()) {
     classify_failure(admitted);
     return admitted;
@@ -463,7 +822,7 @@ StatusOr<Cursor> QueryService::Open(Session* session, const std::string& sql,
   StatusOr<Cursor> cursor =
       OpenAdmitted(session, sql, exec, token, effective_dop, gang_slots);
   if (!cursor.ok()) {
-    ReleaseTicket();
+    ReleaseTicket(memory_claim);
     classify_failure(cursor.status());
     return cursor;
   }
@@ -479,6 +838,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
                                             const CancelTokenPtr& token,
                                             int effective_dop,
                                             int gang_slots) {
+  uint64_t watch_id = 0;
   StatusOr<Cursor> result = [&]() -> StatusOr<Cursor> {
     // Planning and the parallel worker gang run under the shared DDL lock;
     // by the time rows stream out, a parallel execution's staged result is
@@ -565,6 +925,13 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     state->est_rows = meta.est_rows;
     state->filter_joins = meta.filter_joins;
     state->optimizer_stats = meta.optimizer_stats;
+    state->memory_claim = memory_limit > 0 ? memory_limit : 0;
+    // Liveness plumbing: one shared heartbeat per query, inherited by every
+    // worker context; the registry entry lets the watchdog sample it and
+    // graceful drain cancel through it until CloseCursor unregisters.
+    state->progress_heartbeat = std::make_shared<std::atomic<int64_t>>(0);
+    watch_id = RegisterLiveQuery(state);
+    state->watch_id = watch_id;
 
     const bool has_limit = meta.bound.limit >= 0;
 
@@ -574,6 +941,7 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     producer->ctx.set_cancel_token(token);
     producer->ctx.set_memory_tracker(state->memory_tracker);
     producer->ctx.set_batch_size(effective_batch);
+    producer->ctx.set_progress_heartbeat(state->progress_heartbeat);
     // Out-of-core degradation is offered only to governed queries that did
     // not opt out, and only when the service has a spill area. An
     // ungoverned query never breaches, so the manager would be inert.
@@ -780,6 +1148,9 @@ StatusOr<Cursor> QueryService::OpenAdmitted(Session* session,
     SubmitProducer(producer);
     return Cursor(state);
   }();
+  // A failed Open never hands out a cursor, so nothing would ever
+  // unregister it — drop the registry entry here.
+  if (!result.ok() && watch_id != 0) UnregisterLiveQuery(watch_id);
   // The gang (if any) has finished by now either way; only the admission
   // ticket stays held for the cursor's lifetime.
   ReleaseGangSlots(gang_slots);
@@ -811,6 +1182,7 @@ StatusOr<std::vector<Tuple>> QueryService::FetchFromCursor(
 Status QueryService::CloseCursor(CursorState* cursor) {
   if (cursor->closed) return cursor->terminal_status;
   cursor->closed = true;
+  if (cursor->watch_id != 0) UnregisterLiveQuery(cursor->watch_id);
 
   // Read the token before (possibly) cancelling it ourselves, so a
   // deadline that fired mid-stream is classified as such.
@@ -859,9 +1231,16 @@ Status QueryService::CloseCursor(CursorState* cursor) {
       cursor->final_counters.spill_bytes_written > 0) {
     spill_manager_->NoteQuerySpilled();
   }
-  query_latency_us_->Observe(ElapsedUs(cursor->start_time));
+  const int64_t latency_us = ElapsedUs(cursor->start_time);
+  query_latency_us_->Observe(latency_us);
+  // Feed the shed estimator. Lossy read-modify-write is fine: any recent
+  // latency is a usable signal, and the estimate only gates shedding.
+  const int64_t ewma = ewma_query_latency_us_.load(std::memory_order_relaxed);
+  ewma_query_latency_us_.store(
+      ewma == 0 ? latency_us : (ewma * 4 + latency_us) / 5,
+      std::memory_order_relaxed);
   open_cursors_->Add(-1);
-  ReleaseTicket();
+  ReleaseTicket(cursor->memory_claim);
   return terminal;
 }
 
@@ -869,29 +1248,48 @@ StatusOr<QueryResult> QueryService::Query(Session* session,
                                           const std::string& sql,
                                           const ExecOptions& exec) {
   StatusOr<QueryResult> result = QueryViaCursor(session, sql, exec);
-  // Concurrent DDL between production quanta stales a sequential stream
-  // (FailedPrecondition). An explicit cursor hands that error to its
-  // consumer, but the fetch-all wrapper has delivered nothing yet, so it
-  // keeps Query's pre-streaming contract — unrelated DDL never fails a
-  // query — by replanning at the fresh epoch and restarting. Each retry
-  // requires another DDL to land inside the retried execution, so a small
-  // bound suffices — but under sustained DDL churn immediate replans would
-  // hot-loop against the writer, so retries back off exponentially (capped)
-  // with jitter to de-synchronize racing sessions.
-  static std::atomic<uint64_t> retry_seq{0};
-  Random jitter_rng(0x9e3779b97f4a7c15ULL ^
-                    retry_seq.fetch_add(1, std::memory_order_relaxed));
-  int64_t backoff_us = 50;
-  constexpr int64_t kMaxBackoffUs = 5000;
-  for (int retry = 0;
-       retry < 10 &&
-       result.status().code() == StatusCode::kFailedPrecondition;
-       ++retry) {
-    query_ddl_retries_->Increment();
-    const int64_t sleep_us =
-        backoff_us + jitter_rng.UniformInt(0, backoff_us / 2);
+  // Two transparent retry families, both with capped exponential backoff
+  // plus jitter from the session's deterministic PRNG (racing sessions
+  // de-synchronize; tests replay exact timings):
+  //
+  //   - DDL staleness (kFailedPrecondition): concurrent DDL between
+  //     production quanta stales a sequential stream. An explicit cursor
+  //     hands that error to its consumer, but the fetch-all wrapper has
+  //     delivered nothing yet, so it keeps Query's pre-streaming contract —
+  //     unrelated DDL never fails a query — by replanning at the fresh
+  //     epoch. Each retry requires another DDL to land inside the retried
+  //     execution, so a small bound suffices.
+  //   - Load shedding (kUnavailable with a `retry_after_us=` hint): the
+  //     admission controller rejected the submission under overload. The
+  //     wrapper honors the server's hint as a floor under its own backoff,
+  //     so retry pressure decays as the queue drains. A kUnavailable
+  //     without the hint (service draining) is not retried.
+  Backoff ddl_backoff(50, 5000, session->retry_rng());
+  Backoff shed_backoff(200, 20000, session->retry_rng());
+  int ddl_retries = 0;
+  int shed_retries = 0;
+  constexpr int kMaxDdlRetries = 10;
+  constexpr int kMaxShedRetries = 16;
+  constexpr int64_t kMaxShedSleepUs = 50000;
+  while (!result.ok()) {
+    int64_t sleep_us = 0;
+    if (result.status().code() == StatusCode::kFailedPrecondition &&
+        ddl_retries < kMaxDdlRetries) {
+      ++ddl_retries;
+      query_ddl_retries_->Increment();
+      sleep_us = ddl_backoff.NextDelayUs();
+    } else if (result.status().code() == StatusCode::kUnavailable &&
+               shed_retries < kMaxShedRetries) {
+      const int64_t hint_us = ParseRetryAfterUs(result.status().message());
+      if (hint_us < 0) break;  // no hint: permanent (draining), surface it
+      ++shed_retries;
+      query_shed_retries_->Increment();
+      sleep_us = std::min(std::max(hint_us, shed_backoff.NextDelayUs()),
+                          kMaxShedSleepUs);
+    } else {
+      break;
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
-    backoff_us = std::min(backoff_us * 2, kMaxBackoffUs);
     result = QueryViaCursor(session, sql, exec);
   }
   return result;
@@ -966,6 +1364,9 @@ void QueryService::SyncSpillMetrics() const {
   spill_partitions_opened_->Set(spill_manager_->partitions_opened());
   spill_recursion_depth_max_->Set(spill_manager_->max_recursion_depth_seen());
   spilled_queries_->Set(spill_manager_->spilled_queries());
+  spill_disk_budget_bytes_->Set(spill_manager_->disk_budget_bytes());
+  spill_disk_used_bytes_->Set(spill_manager_->disk_used_bytes());
+  spill_disk_rejections_->Set(spill_manager_->disk_budget_rejections());
 }
 
 ServiceStats QueryService::StatsSnapshot() const {
@@ -985,7 +1386,17 @@ ServiceStats QueryService::StatsSnapshot() const {
     std::lock_guard<std::mutex> lock(admit_mu_);
     s.active_queries = active_queries_;
     s.used_gang_slots = used_gang_slots_;
+    s.queued_queries = static_cast<int>(QueuedLocked());
+    s.memory_ceiling_claimed_bytes = memory_ceiling_claimed_;
+    s.draining = draining_;
   }
+  memory_ceiling_claimed_bytes_->Set(s.memory_ceiling_claimed_bytes);
+  s.queries_shed = queries_shed_->Value();
+  s.query_shed_retries = query_shed_retries_->Value();
+  s.watchdog_cancels = watchdog_cancels_->Value();
+  s.spill_disk_budget_bytes = spill_disk_budget_bytes_->Value();
+  s.spill_disk_used_bytes = spill_disk_used_bytes_->Value();
+  s.spill_disk_rejections = spill_disk_rejections_->Value();
   s.plan_cache_hits = plan_cache_hits_->Value();
   s.plan_cache_misses = plan_cache_misses_->Value();
   s.plan_instance_reuses = plan_instance_reuses_->Value();
@@ -1011,6 +1422,9 @@ ServiceStats QueryService::StatsSnapshot() const {
       {kReoptMetricPrefix, &s.reoptimization_reasons},
       {kCacheHitBackendPrefix, &s.plan_cache_hits_by_backend},
       {kCacheMissBackendPrefix, &s.plan_cache_misses_by_backend},
+      {kShedReasonPrefix, &s.shed_reasons},
+      {kWatchdogReasonPrefix, &s.watchdog_cancel_reasons},
+      {kAdmittedPriorityPrefix, &s.admitted_by_priority},
   };
   for (const auto& [name, value] : metrics_.CounterValues()) {
     for (const auto& [family_prefix, out] : families) {
@@ -1025,6 +1439,15 @@ ServiceStats QueryService::StatsSnapshot() const {
   }
   s.admission_wait_us_p50 = admission_wait_us_->Quantile(0.50);
   s.admission_wait_us_p95 = admission_wait_us_->Quantile(0.95);
+  for (int p = 0; p < kNumSessionPriorities; ++p) {
+    if (admitted_by_priority_[p]->Value() == 0) continue;
+    const std::string label =
+        SessionPriorityName(static_cast<SessionPriority>(p));
+    s.admission_wait_us_p50_by_priority[label] =
+        admission_wait_us_by_priority_[p]->Quantile(0.50);
+    s.admission_wait_us_p95_by_priority[label] =
+        admission_wait_us_by_priority_[p]->Quantile(0.95);
+  }
   s.query_latency_us_p50 = query_latency_us_->Quantile(0.50);
   s.query_latency_us_p95 = query_latency_us_->Quantile(0.95);
   s.query_latency_us_p99 = query_latency_us_->Quantile(0.99);

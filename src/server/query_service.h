@@ -1,7 +1,9 @@
 #ifndef MAGICDB_SERVER_QUERY_SERVICE_H_
 #define MAGICDB_SERVER_QUERY_SERVICE_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -10,6 +12,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/cancellation.h"
@@ -80,6 +83,55 @@ struct QueryServiceOptions {
   /// when set, so a build-script sweep can force batching on or off for
   /// every service in the process without touching call sites.
   int64_t default_batch_size = -1;
+
+  /// Weighted-fair admission: relative capacity shares of the three
+  /// priority classes while queries are queued (an idle service admits
+  /// everything immediately regardless). Clamped up to 1 at construction.
+  int admission_weight_high = 8;
+  int admission_weight_normal = 4;
+  int admission_weight_background = 1;
+
+  /// Load-shedding high-water mark on queued (not yet admitted) queries: a
+  /// non-high-priority submission arriving while this many waiters are
+  /// queued is rejected immediately with kUnavailable carrying a
+  /// machine-readable `retry_after_us=` hint, instead of queueing
+  /// unboundedly. 0 (the default) disables the trigger — or defers to the
+  /// MAGICDB_TEST_SHED_QUEUE_DEPTH environment variable when set, so a
+  /// build-script sweep can impose overload on the whole suite. Negative
+  /// explicitly disables, overriding the environment.
+  int shed_queue_depth = 0;
+
+  /// Load-shedding high-water mark on the *estimated* admission wait
+  /// (microseconds), computed from the queue depth and an EWMA of recent
+  /// query latency. Same shed semantics and kUnavailable hint as
+  /// shed_queue_depth. 0 (the default) disables; negative explicitly
+  /// disables.
+  int64_t shed_wait_estimate_us = 0;
+
+  /// Service-wide memory ceiling (bytes): admission blocks a governed
+  /// query while the sum of admitted queries' effective memory limits
+  /// would exceed this, so concurrent governed queries cannot collectively
+  /// overcommit the node. A single query whose limit alone exceeds the
+  /// ceiling fails with kResourceExhausted. Ungoverned queries (no memory
+  /// limit) are not claimed against it. 0 = unlimited.
+  int64_t service_memory_ceiling_bytes = 0;
+
+  /// Service-wide spill disk budget (bytes) across every live spill file
+  /// (SpillConfig::disk_budget_bytes). A query whose frame flush would
+  /// exceed it fails with kResourceExhausted; bystanders are unaffected
+  /// and the budget frees as queries close. 0 = unbounded.
+  int64_t spill_disk_budget_bytes = 0;
+
+  /// Stuck-query watchdog: cancel a query whose progress heartbeat (rows,
+  /// batches, spill bytes) has not advanced for this long. Parked
+  /// producers (consumer backpressure) and finished streams are exempt.
+  /// Zero (the default) disables the watchdog entirely — no thread is
+  /// started.
+  std::chrono::milliseconds watchdog_stall_timeout{0};
+
+  /// How often the watchdog samples heartbeats (only meaningful with a
+  /// non-zero stall timeout). 0 = a quarter of the stall timeout.
+  std::chrono::milliseconds watchdog_poll_interval{0};
 };
 
 /// Point-in-time view of the service counters (see also MetricsText()).
@@ -138,6 +190,29 @@ struct ServiceStats {
   /// chaos tests assert after each injected fault.
   int active_queries = 0;
   int used_gang_slots = 0;
+  /// Overload-resilience series: queries waiting in the admission queue
+  /// right now, queries rejected by load shedding (total and by reason),
+  /// wrapper retries after a shed, watchdog kills (total and by reason),
+  /// bytes currently claimed against the service memory ceiling, the spill
+  /// disk budget/occupancy/rejections, and whether the service is
+  /// draining (Shutdown() called).
+  int queued_queries = 0;
+  int64_t queries_shed = 0;
+  std::map<std::string, int64_t> shed_reasons;
+  int64_t query_shed_retries = 0;
+  int64_t watchdog_cancels = 0;
+  std::map<std::string, int64_t> watchdog_cancel_reasons;
+  int64_t memory_ceiling_claimed_bytes = 0;
+  int64_t spill_disk_budget_bytes = 0;
+  int64_t spill_disk_used_bytes = 0;
+  int64_t spill_disk_rejections = 0;
+  bool draining = false;
+  /// Admissions broken down by priority class (weighted-fairness checks).
+  std::map<std::string, int64_t> admitted_by_priority;
+  /// Per-priority admission-wait quantiles (microseconds), keyed by class
+  /// name; present once a class has admitted at least one query.
+  std::map<std::string, double> admission_wait_us_p50_by_priority;
+  std::map<std::string, double> admission_wait_us_p95_by_priority;
   double admission_wait_us_p50 = 0.0;
   double admission_wait_us_p95 = 0.0;
   double query_latency_us_p50 = 0.0;
@@ -193,8 +268,20 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Opens a session initialized with the database's current optimizer
-  /// options. The session must not outlive the service.
+  /// options. The session must not outlive the service. The overload picks
+  /// the session's admission priority class (default kNormal).
   std::unique_ptr<Session> CreateSession();
+  std::unique_ptr<Session> CreateSession(const SessionOptions& options);
+
+  /// Graceful drain: stops admitting (new and queued submissions fail with
+  /// kUnavailable, no retry hint), waits up to `grace` for in-flight
+  /// queries to finish and their cursors to be closed, then cancels the
+  /// stragglers' tokens and waits up to `grace` again. Returns OK once
+  /// every ticket and gang slot is released (asserted); kDeadlineExceeded
+  /// if open cursors remain — their clients must still Close() them.
+  /// Idempotent; the service stays drained afterwards.
+  Status Shutdown(
+      std::chrono::milliseconds grace = std::chrono::milliseconds(5000));
 
   /// DDL (CREATE TABLE / CREATE VIEW), serialized against running queries;
   /// bumps the catalog epoch and thereby invalidates cached plans.
@@ -234,14 +321,55 @@ class QueryService {
  private:
   friend class Cursor;
 
-  /// Blocking FIFO admission. `gang_slots` is 0 for sequential queries and
-  /// the effective dop for parallel ones. Returns non-OK when `token`
-  /// fires while queued; records the wait in the admission histogram.
-  Status Admit(int gang_slots, const CancelToken* token);
+  /// Load-shedding gate, evaluated before a submission queues: under the
+  /// configured high-water marks a non-high-priority query is rejected
+  /// with kUnavailable carrying a `retry_after_us=` hint. kHigh queries
+  /// are never shed. Failpoint site: `admission.shed`.
+  Status MaybeShed(SessionPriority priority);
+
+  /// Blocking weighted-fair admission: one FIFO lane per priority class,
+  /// served by smallest virtual time (vt advances by scale/weight per
+  /// admission, so admission rates under saturation converge to the
+  /// configured weight ratios; the head candidate blocks until ticket,
+  /// gang-slot, and memory-ceiling capacity all fit — same head-of-line
+  /// semantics the strict-FIFO controller had, so gangs cannot starve).
+  /// `gang_slots` is 0 for sequential queries and the effective dop for
+  /// parallel ones; `memory_claim` is the query's effective memory limit,
+  /// claimed against the service memory ceiling until release. Returns
+  /// non-OK when `token` fires while queued or the service drains; records
+  /// the wait in the aggregate and per-priority admission histograms.
+  Status Admit(SessionPriority priority, int gang_slots, int64_t memory_claim,
+               const CancelToken* token);
   /// Gang slots are released as soon as the worker gang finishes (inside
-  /// Open); the admission ticket is held until the cursor closes.
+  /// Open); the admission ticket and memory-ceiling claim are held until
+  /// the cursor closes.
   void ReleaseGangSlots(int gang_slots);
-  void ReleaseTicket();
+  void ReleaseTicket(int64_t memory_claim);
+
+  /// Total queued waiters across classes; callers hold admit_mu_.
+  int64_t QueuedLocked() const;
+  /// Estimated admission wait of a new arrival (microseconds), from the
+  /// queue depth and the EWMA of recent query latency; admit_mu_ held.
+  int64_t EstimateAdmissionWaitUsLocked() const;
+  /// The non-empty lane the weighted-fair scheduler serves next (smallest
+  /// virtual time, ties by smallest head ticket); -1 when all lanes are
+  /// empty. Callers hold admit_mu_.
+  int PickClassLocked() const;
+
+  /// Counts one shed: bumps the total plus
+  /// `magicdb_server_sheds_total{reason=...}`.
+  void RecordShed(const char* reason);
+
+  /// Live-query registry (graceful drain + stuck-query watchdog): every
+  /// open cursor is registered from OpenAdmitted until CloseCursor.
+  uint64_t RegisterLiveQuery(const std::shared_ptr<CursorState>& state);
+  void UnregisterLiveQuery(uint64_t watch_id);
+
+  /// Watchdog thread body: samples every live query's heartbeat each poll
+  /// interval and cancels (CancelToken::CancelStalled) those that made no
+  /// progress for watchdog_stall_timeout, skipping parked producers and
+  /// finished streams. Failpoint site: `watchdog.fire`.
+  void WatchdogLoop();
 
   /// Plans the query and starts its producer; always releases `gang_slots`
   /// before returning (the gang, if any, has finished by then). On success
@@ -306,10 +434,45 @@ class QueryService {
   // ticket/gang-slot occupancy under it.
   mutable std::mutex admit_mu_;
   std::condition_variable admit_cv_;
-  std::deque<uint64_t> admit_queue_;  // waiter tickets, FIFO
+  /// One FIFO lane of waiter tickets per priority class plus its virtual
+  /// time; the weighted-fair scheduler serves the non-empty lane with the
+  /// smallest vt (ties: smallest head ticket, i.e. global FIFO).
+  struct AdmissionLane {
+    std::deque<uint64_t> waiters;
+    int64_t virtual_time = 0;
+  };
+  std::array<AdmissionLane, kNumSessionPriorities> admit_lanes_;
+  std::array<int, kNumSessionPriorities> admission_weights_{1, 1, 1};
   uint64_t next_ticket_ = 0;
   int active_queries_ = 0;
   int used_gang_slots_ = 0;
+  /// Sum of admitted governed queries' memory limits, gated by the
+  /// service-wide ceiling.
+  int64_t memory_ceiling_claimed_ = 0;
+  /// Set by Shutdown(): admission rejects everything (queued waiters
+  /// included) with kUnavailable.
+  bool draining_ = false;
+  /// EWMA of completed-query latency (microseconds), feeding the estimated
+  /// admission wait behind shed_wait_estimate_us and the retry-after hint.
+  std::atomic<int64_t> ewma_query_latency_us_{0};
+
+  /// Live-query registry: graceful drain cancels through it; the watchdog
+  /// samples it. Entries carry their own sampling state.
+  struct LiveQueryEntry {
+    std::shared_ptr<CursorState> state;
+    int64_t last_heartbeat = 0;
+    std::chrono::steady_clock::time_point last_advance;
+    bool cancelled_by_watchdog = false;
+  };
+  mutable std::mutex live_mu_;
+  std::map<uint64_t, LiveQueryEntry> live_queries_;
+  uint64_t next_watch_id_ = 1;
+
+  // Watchdog thread (started only with a non-zero stall timeout).
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   std::atomic<int64_t> next_session_id_{1};
 
@@ -344,7 +507,23 @@ class QueryService {
   Counter* spill_partitions_opened_;
   Counter* spill_recursion_depth_max_;
   Counter* spilled_queries_;
+  // Overload-resilience series: sheds, shed retries, watchdog kills, spill
+  // disk budget gauges (mirrored from the SpillManager like the other
+  // spill counters), and the memory-ceiling claim gauge.
+  Counter* queries_shed_;
+  Counter* query_shed_retries_;
+  Counter* watchdog_cancels_;
+  Counter* spill_disk_budget_bytes_;
+  Counter* spill_disk_used_bytes_;
+  Counter* spill_disk_rejections_;
+  Counter* memory_ceiling_claimed_bytes_;
   LatencyHistogram* admission_wait_us_;
+  /// Per-priority admission-wait histograms, indexed by SessionPriority.
+  std::array<LatencyHistogram*, kNumSessionPriorities>
+      admission_wait_us_by_priority_{};
+  /// Per-priority admission counters
+  /// (`magicdb_server_queries_admitted_total{priority=...}`).
+  std::array<Counter*, kNumSessionPriorities> admitted_by_priority_{};
   LatencyHistogram* query_latency_us_;
   LatencyHistogram* cursor_batch_wait_us_;
   /// Peak tracked bytes per governed query, observed at cursor close.

@@ -4,8 +4,27 @@
 
 namespace magicdb {
 
-Session::Session(QueryService* service, int64_t id, OptimizerOptions options)
-    : service_(service), id_(id), options_(std::move(options)) {}
+const char* SessionPriorityName(SessionPriority priority) {
+  switch (priority) {
+    case SessionPriority::kHigh:
+      return "high";
+    case SessionPriority::kNormal:
+      return "normal";
+    case SessionPriority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+Session::Session(QueryService* service, int64_t id, OptimizerOptions options,
+                 SessionOptions session_options)
+    : service_(service),
+      id_(id),
+      options_(std::move(options)),
+      session_options_(session_options),
+      // Deterministic per-session jitter: the golden-ratio constant keeps
+      // low ids from collapsing onto nearby PRNG streams.
+      retry_rng_(0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(id)) {}
 
 Session::~Session() = default;
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/common/cancellation.h"
+#include "src/common/random.h"
 #include "src/common/statusor.h"
 #include "src/db/database.h"
 #include "src/exec/exec_options.h"
@@ -18,6 +19,26 @@
 namespace magicdb {
 
 class QueryService;
+
+/// Admission priority class of a session. The weighted-fair admission
+/// controller shares capacity between classes by configurable weights, and
+/// load shedding under overload never rejects kHigh queries — they queue.
+enum class SessionPriority {
+  kHigh = 0,
+  kNormal = 1,
+  kBackground = 2,
+};
+
+inline constexpr int kNumSessionPriorities = 3;
+
+/// Stable metric/label name of a priority class ("high" / "normal" /
+/// "background").
+const char* SessionPriorityName(SessionPriority priority);
+
+/// Construction-time knobs of one session.
+struct SessionOptions {
+  SessionPriority priority = SessionPriority::kNormal;
+};
 
 /// One client's connection to a QueryService: per-session optimizer
 /// options, named prepared statements, and the entry points that route
@@ -36,6 +57,9 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   int64_t id() const { return id_; }
+
+  /// Admission priority class this session's queries are submitted under.
+  SessionPriority priority() const { return session_options_.priority; }
 
   /// Session-private planning knobs. Changing them re-keys this session's
   /// plan-cache lookups (the options fingerprint is part of the key), so a
@@ -75,11 +99,20 @@ class Session {
 
  private:
   friend class QueryService;
-  Session(QueryService* service, int64_t id, OptimizerOptions options);
+  Session(QueryService* service, int64_t id, OptimizerOptions options,
+          SessionOptions session_options);
+
+  /// Jitter source for this session's retry backoff (DDL staleness, shed
+  /// retry). Seeded from the session id, so retry timing is deterministic
+  /// under test; one session is driven by one client thread, which is the
+  /// only caller.
+  Random* retry_rng() { return &retry_rng_; }
 
   QueryService* service_;
   const int64_t id_;
   OptimizerOptions options_;
+  const SessionOptions session_options_;
+  Random retry_rng_;
 
   std::mutex mu_;  // guards prepared_
   std::map<std::string, std::string> prepared_;

@@ -25,11 +25,16 @@ SpillFile::~SpillFile() {
   if (write_handle_ != nullptr) std::fclose(write_handle_);
   if (read_handle_ != nullptr) std::fclose(read_handle_);
   if (write_handle_ != nullptr || write_finished_) std::remove(path_.c_str());
+  mgr_->ReleaseDisk(disk_charged_);
 }
 
 void SpillFile::ChargeWrite(int64_t bytes, ExecContext* ctx) {
   mgr_->AddBytesWritten(bytes);
-  if (ctx == nullptr || !charge_cost_) return;
+  if (ctx == nullptr) return;
+  // Spill I/O is forward progress for the stuck-query watchdog even on
+  // paths (gather staging) that charge no query cost.
+  ctx->NoteProgress(bytes);
+  if (!charge_cost_) return;
   ctx->counters().spill_bytes_written += bytes;
   const int64_t pages = CeilPages(bytes_written_) - write_pages_charged_;
   ctx->counters().pages_written += pages;
@@ -38,7 +43,9 @@ void SpillFile::ChargeWrite(int64_t bytes, ExecContext* ctx) {
 
 void SpillFile::ChargeRead(int64_t bytes, ExecContext* ctx) {
   mgr_->AddBytesRead(bytes);
-  if (ctx == nullptr || !charge_cost_) return;
+  if (ctx == nullptr) return;
+  ctx->NoteProgress(bytes);
+  if (!charge_cost_) return;
   ctx->counters().spill_bytes_read += bytes;
   const int64_t pages = CeilPages(bytes_read_) - read_pages_charged_;
   ctx->counters().pages_read += pages;
@@ -48,6 +55,12 @@ void SpillFile::ChargeRead(int64_t bytes, ExecContext* ctx) {
 Status SpillFile::FlushFrame(ExecContext* ctx) {
   if (write_buffer_.empty()) return Status::OK();
   MAGICDB_FAILPOINT("spill.write");
+  // Budget check precedes the filesystem write: a rejected frame fails this
+  // query before it consumes the disk it was denied.
+  const int64_t budgeted_bytes =
+      static_cast<int64_t>(sizeof(uint32_t) + write_buffer_.size());
+  MAGICDB_RETURN_IF_ERROR(mgr_->ChargeDisk(budgeted_bytes));
+  disk_charged_ += budgeted_bytes;
   if (write_handle_ == nullptr) {
     write_handle_ = std::fopen(path_.c_str(), "wb");
     if (write_handle_ == nullptr) {

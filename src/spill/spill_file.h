@@ -84,6 +84,10 @@ class SpillFile {
   int64_t records_ = 0;
   int64_t bytes_written_ = 0;
   int64_t bytes_read_ = 0;
+  // Bytes charged against the manager's service-wide disk budget; released
+  // in the destructor together with the unlink, so a closed query leaves
+  // zero residual budget consumption.
+  int64_t disk_charged_ = 0;
   // Cumulative byte counts at the last page-charge, for exact ceil-diff
   // page accounting (total pages charged == ceil(total bytes / page)).
   int64_t write_pages_charged_ = 0;

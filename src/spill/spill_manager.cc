@@ -2,6 +2,9 @@
 
 #include <unistd.h>
 
+#include <string>
+
+#include "src/common/failpoint.h"
 #include "src/exec/exec_context.h"
 
 namespace magicdb {
@@ -15,6 +18,35 @@ std::string SpillManager::NextFilePath(const std::string& label) {
   std::string path = config_.dir;
   if (!path.empty() && path.back() != '/') path += '/';
   return path + name;
+}
+
+Status SpillManager::ChargeDisk(int64_t bytes) {
+  // Chaos site: lets tests inject a budget rejection (or a delay) on the
+  // charge path without actually filling a disk.
+  MAGICDB_FAILPOINT("spill.budget.charge");
+  const int64_t budget = config_.disk_budget_bytes;
+  if (budget <= 0) {
+    disk_used_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  int64_t used = disk_used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (used + bytes > budget) {
+      disk_budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "spill disk budget exhausted: " + std::to_string(used) +
+          " bytes in use + " + std::to_string(bytes) + " requested > budget " +
+          std::to_string(budget));
+    }
+    if (disk_used_.compare_exchange_weak(used, used + bytes,
+                                         std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
+
+void SpillManager::ReleaseDisk(int64_t bytes) {
+  if (bytes > 0) disk_used_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
 uint64_t SpillPartitionOf(uint64_t hash, int depth, int fanout) {

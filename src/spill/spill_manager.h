@@ -37,6 +37,12 @@ struct SpillConfig {
   /// the memory limit after this many splits (e.g. one giant duplicate-key
   /// bucket) fails the query with kResourceExhausted.
   int max_recursion_depth = 6;
+  /// Service-wide disk budget (bytes) across every live spill file. A frame
+  /// flush that would exceed it fails *that* query with kResourceExhausted
+  /// — the requester is the victim, never a bystander — and each file's
+  /// charges are released when it is destroyed, so the budget frees as
+  /// queries finish. 0 (the default) = unbounded.
+  int64_t disk_budget_bytes = 0;
 };
 
 class SpillManager {
@@ -53,6 +59,26 @@ class SpillManager {
   /// Path for the next spill file: unique within the process, labeled for
   /// debuggability (`magicdb-spill-<pid>-<seq>-<label>.bin`).
   std::string NextFilePath(const std::string& label);
+
+  // --- service-wide disk budget ---
+
+  /// Charges `bytes` of spill-disk usage against the budget before a frame
+  /// hits the filesystem. kResourceExhausted (nothing retained) when the
+  /// budget would be exceeded; the caller must fail its own query. Always
+  /// OK with an unbounded budget. Failpoint site: `spill.budget.charge`.
+  Status ChargeDisk(int64_t bytes);
+
+  /// Returns bytes previously charged with ChargeDisk (SpillFile releases
+  /// its cumulative charge on destruction, alongside the unlink).
+  void ReleaseDisk(int64_t bytes);
+
+  int64_t disk_budget_bytes() const { return config_.disk_budget_bytes; }
+  int64_t disk_used_bytes() const {
+    return disk_used_.load(std::memory_order_relaxed);
+  }
+  int64_t disk_budget_rejections() const {
+    return disk_budget_rejections_.load(std::memory_order_relaxed);
+  }
 
   // --- global counters (the magicdb_spill_* metrics) ---
 
@@ -106,6 +132,8 @@ class SpillManager {
   std::atomic<int64_t> partitions_opened_{0};
   std::atomic<int64_t> max_recursion_depth_seen_{0};
   std::atomic<int64_t> spilled_queries_{0};
+  std::atomic<int64_t> disk_used_{0};
+  std::atomic<int64_t> disk_budget_rejections_{0};
 };
 
 /// Deterministic partition router: which of `fanout` partitions a key hash

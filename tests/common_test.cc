@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "src/common/backoff.h"
 #include "src/common/cost_counters.h"
 #include "src/common/hash.h"
 #include "src/common/random.h"
@@ -212,6 +214,46 @@ TEST(CostCountersTest, ToStringMentionsTotals) {
   std::string s = c.ToString();
   EXPECT_NE(s.find("pages_read=2"), std::string::npos);
   EXPECT_NE(s.find("total_cost="), std::string::npos);
+}
+
+TEST(BackoffTest, DoublesUpToCapWithBoundedJitter) {
+  Random rng(7);
+  Backoff backoff(100, 800, &rng);
+  int64_t expected_base = 100;
+  for (int i = 0; i < 8; ++i) {
+    const int64_t delay = backoff.NextDelayUs();
+    // Jitter adds at most half the current base on top of it.
+    EXPECT_GE(delay, expected_base);
+    EXPECT_LE(delay, expected_base + expected_base / 2 + 1);
+    expected_base = std::min<int64_t>(expected_base * 2, 800);
+  }
+  EXPECT_EQ(backoff.current_us(), 800);
+}
+
+TEST(BackoffTest, DeterministicForEqualSeeds) {
+  Random rng_a(42), rng_b(42);
+  Backoff a(50, 5000, &rng_a);
+  Backoff b(50, 5000, &rng_b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextDelayUs(), b.NextDelayUs());
+  }
+}
+
+TEST(BackoffTest, NullRngMeansNoJitter) {
+  Backoff backoff(100, 400, nullptr);
+  EXPECT_EQ(backoff.NextDelayUs(), 100);
+  EXPECT_EQ(backoff.NextDelayUs(), 200);
+  EXPECT_EQ(backoff.NextDelayUs(), 400);
+  EXPECT_EQ(backoff.NextDelayUs(), 400);  // capped
+}
+
+TEST(RetryAfterHintTest, FormatsAndParses) {
+  EXPECT_EQ(ParseRetryAfterUs("overloaded; " + FormatRetryAfterHint(250)),
+            250);
+  EXPECT_EQ(ParseRetryAfterUs(FormatRetryAfterHint(0)), 0);
+  EXPECT_EQ(ParseRetryAfterUs("no hint here"), -1);
+  EXPECT_EQ(ParseRetryAfterUs("retry_after_us="), -1);
+  EXPECT_EQ(ParseRetryAfterUs("retry_after_us=x9"), -1);
 }
 
 }  // namespace
